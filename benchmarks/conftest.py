@@ -1,0 +1,28 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each ``test_*`` file regenerates one table or figure from the paper's
+evaluation (see DESIGN.md's experiment index E1-E10).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Comparative numbers (ours vs the paper's) are attached to each benchmark
+as ``extra_info`` and printed in the trailing summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import make_workload
+
+
+@pytest.fixture(scope="session")
+def paper_workload():
+    """The paper's running configuration: n=1000, 20 missing, b=32."""
+    return make_workload(n=1000, num_missing=20, bits=32, seed=0)
+
+
+@pytest.fixture(scope="session")
+def clean_workload():
+    """n=1000 with nothing missing (the stable-link fast path)."""
+    return make_workload(n=1000, num_missing=0, bits=32, seed=0)

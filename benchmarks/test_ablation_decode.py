@@ -1,0 +1,72 @@
+"""E10a: decode-strategy ablation -- plug-in candidates vs factorization.
+
+Section 4.2 uses candidate evaluation ("for a small n, such as here, it
+is more efficient to plug in all candidate roots than to solve the roots
+directly"); Section 4.3 notes that "for large n, we can use the decoding
+algorithm that depends only on t".  This ablation measures both decoders
+across log sizes to expose the crossover the paper predicts.
+"""
+
+import pytest
+
+from repro.bench.timing import measure
+from repro.bench.workloads import make_workload
+from repro.quack.decoder import decode_delta
+from repro.quack.power_sum import PowerSumQuack
+
+MISSING = 10
+LOG_SIZES = (500, 5_000, 50_000)
+
+
+def make_case(n, missing=MISSING, seed=0):
+    workload = make_workload(n=n, num_missing=missing, bits=32, seed=seed)
+    receiver = PowerSumQuack(threshold=20, bits=32)
+    receiver.insert_many(workload.received)
+    sender = PowerSumQuack(threshold=20, bits=32)
+    sender.insert_many(workload.sent)
+    return sender - receiver, workload.sent.tolist(), workload.missing
+
+
+@pytest.mark.parametrize("n", LOG_SIZES)
+@pytest.mark.parametrize("method", ["candidates", "factor"])
+def test_decode_method_scaling(benchmark, n, method):
+    delta, log, missing = make_case(n)
+    result = benchmark(lambda: decode_delta(delta, log, method=method))
+    assert result.ok and sorted(result.missing) == list(missing)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["method"] = method
+
+
+def test_factor_cost_is_independent_of_n(benchmark):
+    """The factorization decoder's defining property."""
+    def run():
+        small_delta, small_log, _ = make_case(1_000)
+        large_delta, large_log, _ = make_case(50_000)
+        small = measure(lambda: decode_delta(small_delta, small_log,
+                                             method="factor"), trials=5)
+        large = measure(lambda: decode_delta(large_delta, large_log,
+                                             method="factor"), trials=5)
+        return small.mean, large.mean
+
+    small_mean, large_mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    # 50x the log, decode stays within a small factor (membership mapping
+    # is linear but trivial next to the root finding).
+    assert large_mean < small_mean * 10
+    benchmark.extra_info["n1k_us"] = round(small_mean * 1e6, 1)
+    benchmark.extra_info["n50k_us"] = round(large_mean * 1e6, 1)
+
+
+def test_candidates_cost_grows_with_n(benchmark):
+    def run():
+        small_delta, small_log, _ = make_case(1_000)
+        large_delta, large_log, _ = make_case(50_000)
+        small = measure(lambda: decode_delta(small_delta, small_log,
+                                             method="candidates"), trials=5)
+        large = measure(lambda: decode_delta(large_delta, large_log,
+                                             method="candidates"), trials=5)
+        return small.mean, large.mean
+
+    small_mean, large_mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert large_mean > small_mean  # strictly more work
+    benchmark.extra_info["n1k_us"] = round(small_mean * 1e6, 1)
+    benchmark.extra_info["n50k_us"] = round(large_mean * 1e6, 1)

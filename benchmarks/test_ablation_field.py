@@ -1,0 +1,113 @@
+"""E10b: field-backend ablation -- plain %, Montgomery, log tables, numpy.
+
+Section 4.2: "The value of b determines which hardware instructions and,
+in the 16-bit case, pre-computation optimizations the arithmetic can
+use."  In C++ those choices dominate; in CPython the interpreter
+overhead flattens them.  This ablation measures all four backends
+honestly so EXPERIMENTS.md can discuss the difference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith.field import PrimeField, field_for_bits
+from repro.arith.montgomery import LogTableField, MontgomeryField
+from repro.bench.workloads import make_workload
+
+N_OPS = 2_000
+
+
+@pytest.fixture(scope="module")
+def operands16():
+    workload = make_workload(n=N_OPS, num_missing=0, bits=16, seed=0)
+    values = workload.sent.tolist()
+    return list(zip(values, values[1:] + values[:1]))
+
+
+@pytest.fixture(scope="module")
+def operands32():
+    workload = make_workload(n=N_OPS, num_missing=0, bits=32, seed=0)
+    values = workload.sent.tolist()
+    return list(zip(values, values[1:] + values[:1]))
+
+
+def test_plain_modmul_16(benchmark, operands16):
+    field = field_for_bits(16)
+
+    def run():
+        total = 0
+        for a, b in operands16:
+            total ^= field.mul(a, b)
+        return total
+
+    benchmark(run)
+    benchmark.extra_info["backend"] = "plain %"
+
+
+def test_logtable_modmul_16(benchmark, operands16):
+    field = LogTableField(65_521)
+
+    def run():
+        total = 0
+        for a, b in operands16:
+            total ^= field.mul(a, b)
+        return total
+
+    benchmark(run)
+    benchmark.extra_info["backend"] = "log tables (precomputation)"
+
+
+def test_plain_modmul_32(benchmark, operands32):
+    field = field_for_bits(32)
+
+    def run():
+        total = 0
+        for a, b in operands32:
+            total ^= field.mul(a, b)
+        return total
+
+    benchmark(run)
+    benchmark.extra_info["backend"] = "plain %"
+
+
+def test_montgomery_modmul_32(benchmark, operands32):
+    field = MontgomeryField(4_294_967_291)
+    in_domain = [(field.to_mont(a), field.to_mont(b))
+                 for a, b in operands32]
+
+    def run():
+        total = 0
+        for a, b in in_domain:
+            total ^= field.mul(a, b)
+        return total
+
+    benchmark(run)
+    benchmark.extra_info["backend"] = "Montgomery"
+
+
+def test_numpy_batch_modmul_32(benchmark, operands32):
+    field = field_for_bits(32)
+    a = field.reduce_array(np.array([x for x, _ in operands32],
+                                    dtype=np.uint64))
+    b = field.reduce_array(np.array([y for _, y in operands32],
+                                    dtype=np.uint64))
+
+    benchmark(lambda: field.batch_mul(a, b))
+    benchmark.extra_info["backend"] = "numpy batch"
+
+
+def test_correctness_across_backends(benchmark, operands16):
+    """All backends must agree; benchmark the cheapest cross-check."""
+    plain = field_for_bits(16)
+    table = LogTableField(65_521)
+    mont = MontgomeryField(65_521)
+
+    def check():
+        for a, b in operands16[:200]:
+            expected = plain.mul(a, b)
+            assert table.mul(a, b) == expected
+            assert mont.from_mont(
+                mont.mul(mont.to_mont(a), mont.to_mont(b))) == expected
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,74 @@
+"""E8 / Section 2.2: ACK reduction, end to end.
+
+Three configurations over the same path and seed:
+
+* dense client ACKs (every 2) without a sidecar -- the status quo;
+* sparse client ACKs (every 32) without a sidecar -- naive thinning,
+  which slows window growth and loss detection;
+* sparse client ACKs + proxy quACKs every 2 packets -- the sidecar
+  protocol, which "enable[s] the server to move its sending window ahead
+  more quickly than if it had to wait for ACKs from the client an
+  additional hop away".
+
+Expected shape: assisted completes at least as fast as dense while the
+client sends a fraction of the ACKs; naive thinning is the slowest.
+"""
+
+import pytest
+
+from repro.sidecar.ack_reduction import run_ack_reduction
+
+TOTAL_BYTES = 600_000
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def rows():
+    dense = run_ack_reduction(total_bytes=TOTAL_BYTES, ack_every=2,
+                              sidecar=False, seed=SEED)
+    sparse = run_ack_reduction(total_bytes=TOTAL_BYTES, ack_every=32,
+                               sidecar=False, seed=SEED)
+    assisted = run_ack_reduction(total_bytes=TOTAL_BYTES, ack_every=32,
+                                 sidecar=True, seed=SEED)
+    return dense, sparse, assisted
+
+
+def test_dense_acks_baseline(benchmark, rows):
+    result = benchmark.pedantic(
+        lambda: run_ack_reduction(total_bytes=TOTAL_BYTES, ack_every=2,
+                                  sidecar=False, seed=SEED),
+        rounds=1, iterations=1)
+    assert result.completed
+    benchmark.extra_info["client_acks"] = result.client_acks_sent
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+
+
+def test_naive_ack_thinning(benchmark, rows):
+    dense, sparse, _ = rows
+    result = benchmark.pedantic(
+        lambda: run_ack_reduction(total_bytes=TOTAL_BYTES, ack_every=32,
+                                  sidecar=False, seed=SEED),
+        rounds=1, iterations=1)
+    assert result.completed
+    benchmark.extra_info["client_acks"] = result.client_acks_sent
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+    # Thinning alone hurts completion time.
+    assert sparse.completion_time > dense.completion_time
+
+
+def test_sidecar_ack_reduction(benchmark, rows):
+    dense, sparse, assisted = rows
+    result = benchmark.pedantic(
+        lambda: run_ack_reduction(total_bytes=TOTAL_BYTES, ack_every=32,
+                                  sidecar=True, seed=SEED),
+        rounds=1, iterations=1)
+    assert result.completed
+    assert result.server_sidecar_failures == 0
+    benchmark.extra_info["client_acks"] = result.client_acks_sent
+    benchmark.extra_info["proxy_quacks"] = result.proxy_quacks_sent
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+    benchmark.extra_info["ack_reduction_factor"] = round(
+        dense.client_acks_sent / max(1, assisted.client_acks_sent), 1)
+    # The protocol's two claims, with margin:
+    assert assisted.client_acks_sent < dense.client_acks_sent / 2
+    assert assisted.completion_time < sparse.completion_time

@@ -1,0 +1,117 @@
+"""E7 / Section 2.1: congestion-control division, end to end.
+
+The paper argues (without measuring) that dividing congestion control at
+the proxy lets "the PEP better adjust its sending rate or implement a
+different kind of congestion control on each segment entirely".  This
+benchmark runs the full simulated stack -- a clean wide server-proxy
+segment followed by a lossy access segment -- with and without the
+sidecar, and reports the speedup.
+
+Expected shape: the baseline end-to-end controller confuses access-link
+noise with congestion and crawls; the divided controller isolates the
+loss on the proxy's segment and the transfer completes several times
+faster.  (Absolute numbers depend on the simulator, not the authors'
+testbed.)
+"""
+
+import pytest
+
+from repro.sidecar.cc_division import run_cc_division
+
+TOTAL_BYTES = 600_000
+LOSS = 0.02
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_cc_division(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                           sidecar=False, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def with_sidecar():
+    return run_cc_division(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                           sidecar=True, seed=SEED)
+
+
+def test_baseline_end_to_end(benchmark, baseline):
+    result = benchmark.pedantic(
+        lambda: run_cc_division(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                sidecar=False, seed=SEED),
+        rounds=1, iterations=1)
+    assert result.completed
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+    benchmark.extra_info["goodput_mbps"] = round(result.goodput_bps / 1e6, 2)
+
+
+def test_sidecar_cc_division(benchmark, baseline):
+    result = benchmark.pedantic(
+        lambda: run_cc_division(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                sidecar=True, seed=SEED),
+        rounds=1, iterations=1)
+    assert result.completed
+    assert result.server_sidecar_failures == 0
+    speedup = baseline.completion_time / result.completion_time
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+    benchmark.extra_info["goodput_mbps"] = round(result.goodput_bps / 1e6, 2)
+    benchmark.extra_info["speedup_vs_baseline"] = round(speedup, 2)
+    assert speedup > 1.2  # who wins, with margin
+
+
+def test_sidecar_cc_division_with_bbr_segment(benchmark, baseline):
+    """§2.1's stronger claim: a *different kind* of congestion control on
+    the lossy segment.  A model-based (BBR-style) proxy pacer ignores the
+    access link's random losses entirely."""
+    from repro.transport.cc.bbr import BbrLite
+
+    result = benchmark.pedantic(
+        lambda: run_cc_division(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                sidecar=True, seed=SEED,
+                                proxy_controller_factory=BbrLite),
+        rounds=1, iterations=1)
+    assert result.completed
+    speedup = baseline.completion_time / result.completion_time
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+    benchmark.extra_info["goodput_mbps"] = round(result.goodput_bps / 1e6, 2)
+    benchmark.extra_info["speedup_vs_baseline"] = round(speedup, 2)
+    assert speedup > 2.0
+
+
+def test_sidecar_cc_division_bursty_loss(benchmark):
+    """The wireless-flavored variant: Gilbert-Elliott loss at the same
+    average rate.  Division must still win, and the quACK sessions must
+    ride out the bursts without a reset (the E11 headroom result)."""
+    base = run_cc_division(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                           sidecar=False, seed=SEED, loss_process="bursty")
+    result = benchmark.pedantic(
+        lambda: run_cc_division(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                sidecar=True, seed=SEED,
+                                loss_process="bursty"),
+        rounds=1, iterations=1)
+    assert result.completed and base.completed
+    assert result.server_sidecar_failures == 0
+    speedup = base.completion_time / result.completion_time
+    benchmark.extra_info["speedup_vs_baseline"] = round(speedup, 2)
+    assert speedup > 1.1
+
+
+def test_sweep_over_loss_rates(benchmark):
+    """The win should grow with the access-link loss rate."""
+    def sweep():
+        rows = {}
+        for loss in (0.0, 0.01, 0.03):
+            base = run_cc_division(total_bytes=300_000, loss_rate=loss,
+                                   sidecar=False, seed=SEED)
+            side = run_cc_division(total_bytes=300_000, loss_rate=loss,
+                                   sidecar=True, seed=SEED)
+            rows[loss] = (base.completion_time, side.completion_time)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedups = {loss: base / side for loss, (base, side) in rows.items()}
+    benchmark.extra_info["speedups_by_loss"] = {
+        str(k): round(v, 2) for k, v in speedups.items()}
+    # Lossy cases must benefit more than the clean case.
+    assert speedups[0.03] > speedups[0.0] * 0.9
+    assert speedups[0.03] > 1.2

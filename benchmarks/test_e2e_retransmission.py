@@ -1,0 +1,98 @@
+"""E9 / Section 2.3: in-network (PEP-to-PEP) retransmission, end to end.
+
+Topology: server --(40 ms clean)-- p1 --(2 ms lossy)-- p2 --(2 ms)-- client.
+The proxies bracket the lossy hop; local repair takes ~the proxy RTT
+where an end-to-end repair costs the full path RTT -- "beneficial when
+the RTT between the two routers is significantly smaller than the
+end-to-end RTT".
+
+Configurations: e2e-only baseline, in-network retx with an unchanged
+host (reorder threshold 3 -- the server still double-repairs some), and
+in-network retx with a repair-tolerant host (threshold 64), where the
+benefit shows in full.
+"""
+
+import pytest
+
+from repro.sidecar.retransmission import run_retransmission
+
+TOTAL_BYTES = 600_000
+LOSS = 0.05
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def rows():
+    e2e = run_retransmission(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                             innet_retx=False, seed=SEED)
+    unchanged = run_retransmission(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                   innet_retx=True, seed=SEED)
+    tolerant = run_retransmission(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                  innet_retx=True, reorder_threshold=64,
+                                  seed=SEED)
+    return e2e, unchanged, tolerant
+
+
+def test_e2e_baseline(benchmark, rows):
+    result = benchmark.pedantic(
+        lambda: run_retransmission(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                   innet_retx=False, seed=SEED),
+        rounds=1, iterations=1)
+    assert result.completed
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+    benchmark.extra_info["server_retx"] = result.server_retransmissions
+
+
+def test_innet_retx_unchanged_host(benchmark, rows):
+    result = benchmark.pedantic(
+        lambda: run_retransmission(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                   innet_retx=True, seed=SEED),
+        rounds=1, iterations=1)
+    assert result.completed
+    assert result.proxy_retransmissions > 0
+    assert result.proxy_decode_failures == 0
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+    benchmark.extra_info["proxy_retx"] = result.proxy_retransmissions
+    benchmark.extra_info["server_retx"] = result.server_retransmissions
+
+
+def test_innet_retx_tolerant_host(benchmark, rows):
+    e2e, _, tolerant = rows
+    result = benchmark.pedantic(
+        lambda: run_retransmission(total_bytes=TOTAL_BYTES, loss_rate=LOSS,
+                                   innet_retx=True, reorder_threshold=64,
+                                   seed=SEED),
+        rounds=1, iterations=1)
+    assert result.completed
+    speedup = e2e.completion_time / result.completion_time
+    benchmark.extra_info["completion_s"] = round(result.completion_time, 3)
+    benchmark.extra_info["speedup_vs_e2e"] = round(speedup, 2)
+    benchmark.extra_info["server_congestion_events"] = \
+        result.server_congestion_events
+    # The paper's claim, with margin: local repair across the short hop
+    # beats end-to-end repair across the long path.
+    assert speedup > 1.2
+    assert result.server_congestion_events < e2e.server_congestion_events
+
+
+def test_rtt_ratio_sweep(benchmark):
+    """The benefit should grow as the e2e RTT dwarfs the lossy-hop RTT."""
+    def sweep():
+        out = {}
+        for edge_delay in (0.005, 0.04):
+            e2e = run_retransmission(total_bytes=300_000, loss_rate=LOSS,
+                                     server_p1_delay=edge_delay,
+                                     innet_retx=False, seed=SEED)
+            local = run_retransmission(total_bytes=300_000, loss_rate=LOSS,
+                                       server_p1_delay=edge_delay,
+                                       innet_retx=True, reorder_threshold=64,
+                                       seed=SEED)
+            out[edge_delay] = e2e.completion_time / local.completion_time
+        return out
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["speedup_small_rtt_gap"] = round(
+        speedups[0.005], 2)
+    benchmark.extra_info["speedup_large_rtt_gap"] = round(speedups[0.04], 2)
+    # Crossover direction: larger RTT disparity, larger benefit.
+    assert speedups[0.04] > speedups[0.005] * 0.95

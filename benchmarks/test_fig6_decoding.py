@@ -1,0 +1,73 @@
+"""E3 / Figure 6: decoding time vs number of missing packets m.
+
+The paper's claims: decoding time "is directly proportional to m, which
+is at most t"; and "we expect stable links to mostly not be missing
+packets, which takes virtually no time to decode".
+"""
+
+import pytest
+
+from repro.bench.workloads import make_workload
+from repro.quack.decoder import decode_delta
+from repro.quack.power_sum import PowerSumQuack
+
+MISSING_COUNTS = (0, 5, 10, 15, 20)
+BIT_WIDTHS = (16, 24, 32)
+
+
+def make_delta(workload, threshold=20):
+    receiver = PowerSumQuack(threshold=threshold, bits=workload.bits)
+    receiver.insert_many(workload.received)
+    sender = PowerSumQuack(threshold=threshold, bits=workload.bits)
+    sender.insert_many(workload.sent)
+    return sender - receiver
+
+
+@pytest.mark.parametrize("bits", BIT_WIDTHS)
+@pytest.mark.parametrize("missing", MISSING_COUNTS)
+def test_decode_point(benchmark, bits, missing):
+    """One point of Figure 6 (candidate-evaluation decoder, as the paper
+    uses for n=1000)."""
+    workload = make_workload(n=1000, num_missing=missing, bits=bits, seed=0)
+    delta = make_delta(workload)
+    log = workload.sent.tolist()
+
+    result = benchmark(lambda: decode_delta(delta, log, method="candidates"))
+    assert result.ok
+    assert result.num_missing == missing
+    benchmark.extra_info["figure"] = "6"
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["missing"] = missing
+
+
+def test_zero_missing_is_nearly_free(benchmark):
+    """Figure 6 at m=0: the count comparison short-circuits everything."""
+    workload = make_workload(n=1000, num_missing=0, bits=32, seed=0)
+    delta = make_delta(workload)
+    log = workload.sent.tolist()
+
+    result = benchmark(lambda: decode_delta(delta, log))
+    assert result.ok and result.missing == ()
+
+
+def test_monotone_in_missing(benchmark):
+    """Figure 6's shape, robustly: decoding at the threshold costs more
+    than at one missing packet, and both dwarf the m=0 short-circuit.
+
+    (Between nearby small m the CPython curve is nearly flat -- the
+    vectorized candidate evaluation's fixed cost dominates the O(m^2)
+    parts, see EXPERIMENTS.md E3 -- so only the endpoints are asserted.)
+    """
+    from repro.bench.tables import fig6_series
+
+    def run():
+        return fig6_series(missing_counts=(0, 1, 20), bits_options=(32,),
+                           n=1000, trials=40, stat="median")
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    curve = series[32]
+    assert curve[0] < curve[1] / 20  # m=0 is orders cheaper
+    assert curve[1] < curve[20]
+    benchmark.extra_info["m0_us"] = round(curve[0], 2)
+    benchmark.extra_info["m1_us"] = round(curve[1], 1)
+    benchmark.extra_info["m20_us"] = round(curve[20], 1)

@@ -1,0 +1,50 @@
+"""E4 / Table 3: collision probability vs identifier bits (n=1000).
+
+Paper:  bits   8      16      24       32
+        prob   0.98   0.015   6.0e-05  2.3e-07
+
+The closed form is exact, so this benchmark both times the computation
+and *asserts* agreement with the published row; a Monte-Carlo benchmark
+validates the formula empirically at the widths where sampling is cheap.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.tables import PAPER_TABLE3
+from repro.quack.collision import (
+    collision_probability,
+    monte_carlo_collision_rate,
+)
+
+
+@pytest.mark.parametrize("bits", [8, 16, 24, 32])
+def test_closed_form_matches_paper(benchmark, bits):
+    value = benchmark(lambda: collision_probability(1000, bits))
+    paper = PAPER_TABLE3[bits]
+    assert value == pytest.approx(paper, rel=0.05)
+    benchmark.extra_info["table"] = "3"
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["ours"] = f"{value:.2e}"
+    benchmark.extra_info["paper"] = f"{paper:.2e}"
+
+
+@pytest.mark.parametrize("bits", [8, 16])
+def test_monte_carlo_validates_closed_form(benchmark, bits):
+    def run():
+        return monte_carlo_collision_rate(1000, bits, trials=300,
+                                          rng=random.Random(bits))
+
+    rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = collision_probability(1000, bits)
+    # 300-trial binomial confidence; generous band.
+    assert abs(rate - expected) < max(0.05, 4 * (expected / 300) ** 0.5)
+    benchmark.extra_info["empirical"] = f"{rate:.3g}"
+    benchmark.extra_info["closed_form"] = f"{expected:.3g}"
+
+
+def test_intro_indeterminate_probability(benchmark):
+    """Section 1 headline: 0.000023% indeterminate chance at n=1000, b=32."""
+    value = benchmark(lambda: collision_probability(1000, 32))
+    assert value * 100 == pytest.approx(0.000023, rel=0.05)

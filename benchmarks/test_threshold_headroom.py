@@ -1,0 +1,67 @@
+"""E11 (extension): threshold headroom under bursty loss.
+
+Section 3.2: "Receivers select t based on the communication frequency,
+and the estimated bandwidth usage and loss rate on the link" -- and
+Section 3.3's reset rule makes under-provisioned thresholds expensive.
+This bench quantifies the selection: for 2% *average* loss, the survival
+probability of a long session as a function of t, for i.i.d. vs bursty
+(Gilbert-Elliott) loss at the same average rate.
+
+Expected shape: random loss is satisfied by t barely above the per-quACK
+expectation, while bursty loss needs several times that headroom.
+"""
+
+import pytest
+
+from repro.bench.traces import run_session, survival_probability, synthesize_trace
+from repro.netsim.loss import BernoulliLoss, GilbertElliottLoss
+
+import random
+
+LOSS = 0.02
+N = 3000
+
+
+@pytest.mark.parametrize("threshold", [5, 10, 20, 40])
+@pytest.mark.parametrize("burstiness", ["random", "bursty"])
+def test_survival_point(benchmark, threshold, burstiness):
+    def run():
+        return survival_probability(threshold, LOSS, burstiness,
+                                    trials=10, n=N)
+
+    probability = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["burstiness"] = burstiness
+    benchmark.extra_info["survival"] = probability
+
+
+def test_bursty_needs_more_headroom_than_random(benchmark):
+    def run():
+        random_tight = survival_probability(5, LOSS, "random",
+                                            trials=10, n=N)
+        bursty_tight = survival_probability(5, LOSS, "bursty",
+                                            trials=10, n=N)
+        bursty_roomy = survival_probability(40, LOSS, "bursty",
+                                            trials=10, n=N)
+        return random_tight, bursty_tight, bursty_roomy
+
+    random_tight, bursty_tight, bursty_roomy = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert random_tight >= 0.9
+    assert bursty_tight < random_tight
+    assert bursty_roomy >= 0.9
+    benchmark.extra_info["random_t5"] = random_tight
+    benchmark.extra_info["bursty_t5"] = bursty_tight
+    benchmark.extra_info["bursty_t40"] = bursty_roomy
+
+
+def test_session_decode_throughput(benchmark):
+    """How fast the pure-Python session machinery chews a trace (the
+    'packet-rate benchmarks unrealistically slow' caveat, measured)."""
+    trace = synthesize_trace(2000, loss=BernoulliLoss(
+        LOSS, random.Random(3)), seed=3)
+
+    result = benchmark(lambda: run_session(trace, threshold=20,
+                                           quack_every=32))
+    assert result.survived
+    benchmark.extra_info["packets"] = trace.n

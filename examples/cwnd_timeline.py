@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Watch congestion windows react to an unruly access link.
+
+Runs the same 1.5 MB transfer over a 20 Mbps / 40 ms path with 3% random
+loss under three controllers -- NewReno, CUBIC, and the model-based
+BbrLite -- sampling cwnd every 50 ms and rendering the timelines as text
+charts.  This is the per-segment behaviour the congestion-control
+division proxy gets to choose between (paper, Section 2.1).
+
+Run::
+
+    python examples/cwnd_timeline.py
+"""
+
+import random
+
+from repro.netsim import BernoulliLoss, Host, HopSpec, Simulator, build_path
+from repro.transport import BbrLite, Cubic, NewReno
+from repro.transport.connection import ReceiverConnection, SenderConnection
+from repro.transport.instrument import ConnectionProbe, ascii_chart
+
+TOTAL = 1_500_000
+LOSS = 0.03
+
+
+def run(controller_factory, pacing):
+    sim = Simulator()
+    server, client = Host(sim, "server"), Host(sim, "client")
+    build_path(sim, [server, client],
+               [HopSpec(bandwidth_bps=20e6, delay_s=0.02, queue_packets=64,
+                        loss_up=BernoulliLoss(LOSS, random.Random(7)))])
+    receiver = ReceiverConnection(sim, client, "server", TOTAL)
+    sender = SenderConnection(sim, server, "client", TOTAL,
+                              cc=controller_factory(), pacing=pacing)
+    probe = ConnectionProbe(sim, sender, interval_s=0.05)
+    sender.start()
+    sim.run(until=60)
+    return sender, receiver, probe
+
+
+def main() -> None:
+    print(f"transfer: 1.5 MB over 20 Mbps / 40 ms RTT / {LOSS:.0%} loss\n")
+    for name, factory, pacing in (("NewReno", NewReno, False),
+                                  ("CUBIC", Cubic, False),
+                                  ("BbrLite (paced)", BbrLite, True)):
+        sender, receiver, probe = run(factory, pacing)
+        _, cwnd = probe.cwnd_packets_series()
+        goodput = receiver.monitor.goodput_bps(receiver.completed_at)
+        print(ascii_chart(
+            cwnd, width=72, height=8,
+            label=(f"{name}: cwnd (packets) -- finished in "
+                   f"{receiver.completed_at:.2f}s at "
+                   f"{goodput / 1e6:.1f} Mbps, "
+                   f"{sender.stats.retransmitted_packets} retx")))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""In-network retransmission demo (paper, Section 2.3 / Fig. 4).
+
+Two proxies bracket a short lossy hop in the middle of a long path.  The
+receiver-side proxy quACKs arrivals; the sender-side proxy buffers what
+it forwards and locally retransmits what the quACKs report missing --
+repairs cost the 4 ms proxy-proxy RTT instead of the ~90 ms end-to-end
+RTT.  The cadence adapts to the observed loss ratio (Section 4.3).
+
+The host ablation matters: an unchanged QUIC server still detects the
+losses itself (packet threshold 3) and double-repairs; a repair-tolerant
+server (threshold 64) lets the local repair win outright.
+
+Run::
+
+    python examples/innetwork_retx_demo.py
+"""
+
+from repro.sidecar.retransmission import run_retransmission
+
+
+def main() -> None:
+    config = dict(total_bytes=1_500_000, loss_rate=0.05, seed=1)
+    print("transfer: 1.5 MB, server --100Mbps/40ms-- p1 "
+          "--50Mbps/2ms/5% loss-- p2 --100Mbps/2ms-- client\n")
+
+    rows = [
+        ("end-to-end repair only",
+         run_retransmission(innet_retx=False, **config)),
+        ("in-network retx, stock host",
+         run_retransmission(innet_retx=True, **config)),
+        ("in-network retx, tolerant host",
+         run_retransmission(innet_retx=True, reorder_threshold=64, **config)),
+    ]
+
+    header = (f"{'configuration':32s} {'time (s)':>9s} {'srv retx':>9s} "
+              f"{'proxy retx':>11s} {'cwnd cuts':>10s}")
+    print(header)
+    print("-" * len(header))
+    for name, r in rows:
+        print(f"{name:32s} {r.completion_time:>9.2f} "
+              f"{r.server_retransmissions:>9d} "
+              f"{r.proxy_retransmissions:>11d} "
+              f"{r.server_congestion_events:>10d}")
+
+    e2e, stock, tolerant = (r for _, r in rows)
+    print(f"\nwith a repair-tolerant host, local repair is "
+          f"{e2e.completion_time / tolerant.completion_time:.2f}x faster than "
+          f"end-to-end repair and cuts congestion events from "
+          f"{e2e.server_congestion_events} to "
+          f"{tolerant.server_congestion_events}.")
+    print("(The stock-host row shows why the paper pairs this mechanism "
+          "with host cooperation: an unchanged server races the proxy and "
+          "re-repairs anyway.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper's evaluation.
+
+Prints Table 2 (strawmen vs power sums), Table 3 (collision
+probabilities), the Figure 5 construction-time curves, the Figure 6
+decoding-time curves, and the three end-to-end protocol scenarios the
+paper describes in Section 2 (which it does not measure; our simulator
+numbers reproduce the *claims*).  Expect a few minutes of runtime.
+
+Run::
+
+    python examples/reproduce_paper.py [--quick]
+"""
+
+import argparse
+
+from repro.bench.tables import (
+    fig5_series,
+    fig6_series,
+    format_series,
+    format_table2,
+    table2_report,
+    table3_report,
+)
+from repro.sidecar.ack_reduction import run_ack_reduction
+from repro.sidecar.cc_division import run_cc_division
+from repro.sidecar.retransmission import run_retransmission
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer trials / smaller transfers")
+    args = parser.parse_args()
+    trials = 10 if args.quick else 100
+    total = 300_000 if args.quick else 1_000_000
+
+    print("=" * 76)
+    print("Table 2: strawmen vs the power-sum quACK "
+          "(n=1000, t=20, b=32, c=16)")
+    print("=" * 76)
+    print(format_table2(table2_report(trials=trials)))
+
+    print()
+    print("=" * 76)
+    print("Table 3: collision probability by identifier width (n=1000)")
+    print("=" * 76)
+    for bits, row in table3_report().items():
+        print(f"  {bits:>2d} bits: ours {row['ours']:.2g}   "
+              f"paper {row['paper']:.2g}")
+
+    print()
+    print("=" * 76)
+    print("Figure 5: construction time vs threshold (us)")
+    print("=" * 76)
+    print(format_series(
+        fig5_series(trials=max(3, trials // 10)), x_label="threshold"))
+
+    print()
+    print("=" * 76)
+    print("Figure 6: decoding time vs missing packets (us)")
+    print("=" * 76)
+    print(format_series(
+        fig6_series(trials=max(5, trials // 5)), x_label="missing"))
+
+    print()
+    print("=" * 76)
+    print("Section 2 protocols (simulated; the paper proposes, we measure)")
+    print("=" * 76)
+    base = run_cc_division(total_bytes=total, sidecar=False)
+    side = run_cc_division(total_bytes=total, sidecar=True)
+    print(f"E7 cc division:      {base.completion_time:.2f}s e2e -> "
+          f"{side.completion_time:.2f}s divided "
+          f"({base.completion_time / side.completion_time:.2f}x)")
+    dense = run_ack_reduction(total_bytes=total, ack_every=2, sidecar=False)
+    assisted = run_ack_reduction(total_bytes=total, ack_every=32,
+                                 sidecar=True)
+    print(f"E8 ack reduction:    {dense.client_acks_sent} client ACKs -> "
+          f"{assisted.client_acks_sent} "
+          f"({dense.completion_time:.2f}s -> "
+          f"{assisted.completion_time:.2f}s)")
+    e2e = run_retransmission(total_bytes=total, innet_retx=False)
+    local = run_retransmission(total_bytes=total, innet_retx=True,
+                               reorder_threshold=64)
+    print(f"E9 in-network retx:  {e2e.completion_time:.2f}s e2e -> "
+          f"{local.completion_time:.2f}s local "
+          f"({e2e.completion_time / local.completion_time:.2f}x, "
+          f"{local.proxy_retransmissions} proxy repairs)")
+
+
+if __name__ == "__main__":
+    main()

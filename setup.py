@@ -1,0 +1,12 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel` package.
+
+The environment has no network access and no `wheel` distribution, which
+breaks PEP 660 editable installs on setuptools 65; the legacy
+`setup.py develop` path used by `pip install -e . --no-build-isolation
+--config-settings editable_mode=compat` (or plain `python setup.py develop`)
+needs only this file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Timing utilities matching the paper's methodology.
+
+Table 2's caption: "Average of 100 trials with warmup."  :func:`measure`
+implements exactly that -- run the callable ``warmup`` times unrecorded,
+then ``trials`` times recorded -- and returns simple statistics.  The
+pytest-benchmark files use their own machinery for statistical rigor;
+this module serves the examples and the table-printing harness, which
+want paper-style single numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Statistics over recorded trials, in seconds."""
+
+    trials: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean * 1e6
+
+    @property
+    def mean_ns(self) -> float:
+        return self.mean * 1e9
+
+    def __str__(self) -> str:
+        return (f"{self.mean_us:,.1f} us (median {self.median * 1e6:,.1f}, "
+                f"+/- {self.stdev * 1e6:,.1f}, n={self.trials})")
+
+
+def measure(fn: Callable[[], object], trials: int = 100,
+            warmup: int = 3) -> TimingResult:
+    """Time ``fn`` with warmup, the paper's Table 2 methodology."""
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(
+        trials=trials,
+        mean=statistics.fmean(samples),
+        median=statistics.median(samples),
+        stdev=statistics.stdev(samples) if trials > 1 else 0.0,
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+def measure_throughput(fn: Callable[[], object], items_per_call: int,
+                       trials: int = 20, warmup: int = 2) -> float:
+    """Items processed per second (e.g. digests/s for the Strawman 2
+    extrapolation)."""
+    result = measure(fn, trials=trials, warmup=warmup)
+    if result.mean <= 0:
+        return math.inf
+    return items_per_call / result.mean

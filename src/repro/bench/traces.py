@@ -1,0 +1,214 @@
+"""Trace-driven quACK sessions: arrival processes, loss patterns, outcomes.
+
+Section 3.2: "Receivers select t based on the communication frequency,
+and the estimated bandwidth usage and loss rate on the link."  This
+module makes that selection quantitative.  It synthesizes packet traces
+under several arrival processes (CBR, Poisson, bursty on/off) and loss
+processes (Bernoulli, Gilbert-Elliott), then drives an emitter/consumer
+session over the trace *without* the full simulator, reporting whether
+the threshold ever overflowed and what was decoded.
+
+The headline use is :func:`survival_probability`: for a given loss
+process and quACK cadence, how often does a session with threshold ``t``
+survive a long trace without needing a reset?  (Bursty loss needs far
+more headroom than its average rate suggests -- the experiment behind
+`benchmarks/test_threshold_headroom.py`.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ids import IdentifierFactory
+from repro.netsim.loss import BernoulliLoss, GilbertElliottLoss, LossModel
+from repro.netsim.packet import Packet
+from repro.quack.base import DecodeStatus
+from repro.sidecar.consumer import QuackConsumer
+from repro.sidecar.emitter import QuackEmitter
+from repro.sidecar.frequency import PacketCountFrequency
+
+
+@dataclass(frozen=True)
+class PacketTrace:
+    """A synthesized unidirectional packet timeline."""
+
+    times: tuple[float, ...]
+    dropped: tuple[bool, ...]
+    identifiers: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.times)
+
+    @property
+    def loss_count(self) -> int:
+        return sum(self.dropped)
+
+    @property
+    def loss_rate(self) -> float:
+        return self.loss_count / self.n if self.n else 0.0
+
+    def longest_loss_burst(self) -> int:
+        longest = current = 0
+        for dropped in self.dropped:
+            current = current + 1 if dropped else 0
+            longest = max(longest, current)
+        return longest
+
+
+def cbr_arrivals(n: int, rate_pps: float) -> list[float]:
+    """Constant bit rate: one packet every 1/rate seconds."""
+    if rate_pps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_pps}")
+    gap = 1.0 / rate_pps
+    return [i * gap for i in range(n)]
+
+
+def poisson_arrivals(n: int, rate_pps: float,
+                     rng: random.Random) -> list[float]:
+    """Poisson process: exponential inter-arrival gaps."""
+    if rate_pps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_pps}")
+    now = 0.0
+    times = []
+    for _ in range(n):
+        now += rng.expovariate(rate_pps)
+        times.append(now)
+    return times
+
+
+def onoff_arrivals(n: int, rate_pps: float, on_s: float, off_s: float,
+                   rng: random.Random) -> list[float]:
+    """Bursty on/off source: CBR during exponential on-periods, silent
+    during exponential off-periods."""
+    if min(rate_pps, on_s, off_s) <= 0:
+        raise ValueError("rate, on_s and off_s must all be positive")
+    times: list[float] = []
+    now = 0.0
+    gap = 1.0 / rate_pps
+    while len(times) < n:
+        burst_end = now + rng.expovariate(1.0 / on_s)
+        while now < burst_end and len(times) < n:
+            times.append(now)
+            now += gap
+        now = burst_end + rng.expovariate(1.0 / off_s)
+    return times
+
+
+def synthesize_trace(n: int, arrival: str = "cbr", rate_pps: float = 1000.0,
+                     loss: LossModel | None = None, bits: int = 32,
+                     seed: int = 0, on_s: float = 0.05,
+                     off_s: float = 0.05) -> PacketTrace:
+    """Build a trace: arrival process x loss process x identifiers."""
+    rng = random.Random(seed)
+    if arrival == "cbr":
+        times = cbr_arrivals(n, rate_pps)
+    elif arrival == "poisson":
+        times = poisson_arrivals(n, rate_pps, rng)
+    elif arrival == "onoff":
+        times = onoff_arrivals(n, rate_pps, on_s, off_s, rng)
+    else:
+        raise ValueError(f"unknown arrival process {arrival!r}")
+    model = loss if loss is not None \
+        else BernoulliLoss(0.0, random.Random(rng.random()))
+    probe = Packet(src="t", dst="t", size_bytes=1500)
+    dropped = tuple(model.should_drop(probe) for _ in range(n))
+    factory = IdentifierFactory(
+        rng.getrandbits(128).to_bytes(16, "big"), bits=bits)
+    identifiers = tuple(factory.identifier(i) for i in range(n))
+    return PacketTrace(times=tuple(times), dropped=dropped,
+                       identifiers=identifiers)
+
+
+@dataclass
+class SessionOutcome:
+    """What happened when a quACK session consumed a trace."""
+
+    quacks: int = 0
+    decode_failures: int = 0
+    threshold_exceeded: bool = False
+    declared_lost: int = 0
+    false_losses: int = 0
+    confirmed: int = 0
+    survived: bool = True
+    max_outstanding: int = 0
+
+
+def run_session(trace: PacketTrace, threshold: int, quack_every: int = 32,
+                grace: int = 1, bits: int = 32) -> SessionOutcome:
+    """Drive one emitter/consumer pair over a trace (no simulator).
+
+    The sender logs every packet at its timestamp; the receiver observes
+    the survivors; a quACK is decoded every ``quack_every`` *arrivals*.
+    A decode failure of any kind marks the session as not survived
+    (a real deployment would reset; we measure how often that happens).
+    """
+    consumer = QuackConsumer(threshold, bits, grace=grace)
+    emitter = QuackEmitter(threshold, bits,
+                           policy=PacketCountFrequency(quack_every))
+    outcome = SessionOutcome()
+    truly_dropped = set()
+    for index in range(trace.n):
+        identifier = trace.identifiers[index]
+        now = trace.times[index]
+        consumer.record_send(identifier, index, now)
+        outcome.max_outstanding = max(outcome.max_outstanding,
+                                      consumer.outstanding)
+        if trace.dropped[index]:
+            truly_dropped.add(index)
+            continue
+        snapshot = emitter.observe(identifier, now)
+        if snapshot is None:
+            continue
+        outcome.quacks += 1
+        feedback = consumer.on_quack(snapshot, now)
+        if not feedback.ok:
+            outcome.decode_failures += 1
+            outcome.survived = False
+            # With the Section 3.3 truncation, an overflow surfaces as an
+            # inconsistent decode (truncated "in transit" packets were
+            # really lost, so the receiver's sums disagree); flag any
+            # failure while more than t packets were outstanding.
+            if (feedback.status is DecodeStatus.THRESHOLD_EXCEEDED
+                    or feedback.num_missing > threshold
+                    or consumer.outstanding > threshold):
+                outcome.threshold_exceeded = True
+            continue
+        outcome.confirmed += len(feedback.received)
+        for meta in feedback.lost:
+            outcome.declared_lost += 1
+            if meta not in truly_dropped:
+                outcome.false_losses += 1
+    return outcome
+
+
+def survival_probability(threshold: int, loss: float, burstiness: str,
+                         trials: int = 20, n: int = 4000,
+                         quack_every: int = 32,
+                         base_seed: int = 0) -> float:
+    """P(session survives an n-packet trace) for a threshold choice.
+
+    ``burstiness`` selects the loss process at (approximately) the same
+    average rate: ``"random"`` is Bernoulli(loss); ``"bursty"`` is a
+    Gilbert-Elliott channel with 50%-lossy bad states tuned to the same
+    steady-state rate.
+    """
+    survived = 0
+    for trial in range(trials):
+        rng = random.Random(base_seed * 1000 + trial)
+        if burstiness == "random":
+            model: LossModel = BernoulliLoss(loss, rng)
+        elif burstiness == "bursty":
+            # pi_bad * 0.5 = loss  =>  p_gb/(p_gb+p_bg) = 2*loss.
+            p_bg = 0.25
+            pi_bad = min(2 * loss, 0.99)
+            p_gb = p_bg * pi_bad / (1 - pi_bad)
+            model = GilbertElliottLoss(p_gb, p_bg, loss_good=0.0,
+                                       loss_bad=0.5, rng=rng)
+        else:
+            raise ValueError(f"unknown burstiness {burstiness!r}")
+        trace = synthesize_trace(n, loss=model, seed=trial)
+        outcome = run_session(trace, threshold, quack_every=quack_every)
+        survived += outcome.survived
+    return survived / trials

@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``quack encode``  -- build a power-sum quACK from received identifiers
+  and print the wire frame as hex;
+* ``quack decode``  -- decode a hex frame against a sent-identifier log;
+* ``tables``        -- regenerate a paper table/figure (table2, table3,
+  fig5, fig6);
+* ``sizing``        -- the Section 4.3 frequency/size envelopes;
+* ``experiment``    -- run one of the E7-E9 protocol scenarios.
+
+Examples::
+
+    python -m repro quack encode --ids 11,22,33 --threshold 4
+    python -m repro quack decode --frame <hex> --log 11,22,33,44
+    python -m repro tables table3
+    python -m repro sizing retransmission --loss 0.05
+    python -m repro experiment cc-division --loss 0.02 --total 500000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.quack import wire
+from repro.quack.power_sum import PowerSumQuack
+
+
+def _parse_ids(text: str) -> list[int]:
+    if not text:
+        return []
+    try:
+        return [int(part, 0) for part in text.split(",") if part]
+    except ValueError as exc:
+        raise SystemExit(f"error: bad identifier list {text!r}: {exc}")
+
+
+# -- quack ---------------------------------------------------------------------
+
+def cmd_quack_encode(args: argparse.Namespace) -> int:
+    quack = PowerSumQuack(threshold=args.threshold, bits=args.bits,
+                          count_bits=args.count_bits)
+    quack.insert_many(_parse_ids(args.ids))
+    frame = wire.encode(quack)
+    print(frame.hex())
+    print(f"# {quack.count} identifiers folded, "
+          f"{quack.wire_size_bits()} payload bits "
+          f"({len(frame)} framed bytes)", file=sys.stderr)
+    return 0
+
+
+def cmd_quack_decode(args: argparse.Namespace) -> int:
+    try:
+        frame = bytes.fromhex(args.frame)
+    except ValueError as exc:
+        raise SystemExit(f"error: frame is not valid hex: {exc}")
+    quack = wire.decode(frame)
+    if not isinstance(quack, PowerSumQuack):
+        raise SystemExit("error: frame does not hold a power-sum quACK")
+    log = _parse_ids(args.log)
+    result = quack.decode(log, method=args.method)
+    if not result.ok:
+        print(f"decode failed: {result.status.value} "
+              f"({result.num_missing} packets reported missing)")
+        return 1
+    print(f"missing ({len(result.missing)}): "
+          f"{','.join(str(x) for x in result.missing) or '-'}")
+    for group, count in result.indeterminate:
+        print(f"indeterminate: {count} of "
+              f"{','.join(str(x) for x in group)}")
+    return 0
+
+
+# -- tables ----------------------------------------------------------------------
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.bench import tables
+
+    if args.which == "table2":
+        print(tables.format_table2(tables.table2_report(trials=args.trials)))
+    elif args.which == "table3":
+        for bits, row in tables.table3_report().items():
+            print(f"{bits:>3d} bits: ours {row['ours']:.3g}   "
+                  f"paper {row['paper']:.3g}")
+    elif args.which == "fig5":
+        print(tables.format_series(
+            tables.fig5_series(trials=max(3, args.trials // 10)),
+            x_label="threshold"))
+    else:  # fig6
+        print(tables.format_series(
+            tables.fig6_series(trials=max(5, args.trials // 5)),
+            x_label="missing"))
+    return 0
+
+
+# -- sizing -----------------------------------------------------------------------
+
+def cmd_sizing(args: argparse.Namespace) -> int:
+    from repro.bench import frequency
+
+    if args.which == "cc-division":
+        sizing = frequency.cc_division_sizing(
+            rtt_s=args.rtt, link_bps=args.mbps * 1e6, loss_rate=args.loss)
+        print(f"packets/RTT: {sizing.packets_per_rtt}")
+        print(f"expected missing/RTT: {sizing.expected_missing_per_rtt}")
+        print(f"threshold t: {sizing.threshold}")
+        print(f"quACK bytes: {sizing.quack_bytes} "
+              f"(strawman-1 echo: {sizing.strawman1_bytes})")
+        print(f"overhead: {sizing.quack_overhead_bps / 1e3:.2f} kbps "
+              f"(echo: {sizing.strawman1_overhead_bps / 1e3:.1f} kbps)")
+    elif args.which == "ack-reduction":
+        sizing = frequency.ack_reduction_sizing(every_n=args.every,
+                                                threshold=args.threshold)
+        print(f"quACK every {sizing.every_n} packets, t={sizing.threshold}")
+        print(f"quACK bytes: {sizing.quack_bytes} "
+              f"(strawman-1: {sizing.strawman1_bytes})")
+        print(f"bandwidth saving: {sizing.bandwidth_saving_factor:.2f}x")
+    else:  # retransmission
+        cadence = frequency.retransmission_cadence(args.loss)
+        print(f"loss ratio {args.loss:.1%} -> quACK every "
+              f"{cadence} packets (targeting 20 missing per quACK)")
+    return 0
+
+
+# -- experiments --------------------------------------------------------------------
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.which == "cc-division":
+        from repro.sidecar.cc_division import run_cc_division
+        result = run_cc_division(total_bytes=args.total,
+                                 loss_rate=args.loss,
+                                 sidecar=not args.no_sidecar,
+                                 seed=args.seed)
+        print(f"sidecar: {result.sidecar_enabled}")
+        print(f"completed: {result.completed} "
+              f"in {result.completion_time:.3f} s" if result.completed
+              else "completed: False")
+        print(f"goodput: {result.goodput_bps / 1e6:.2f} Mbps")
+        print(f"server packets: {result.server_packets_sent} "
+              f"({result.server_retransmissions} retransmitted)")
+        if result.proxy_stats is not None:
+            print(f"proxy: forwarded {result.proxy_stats.forwarded}, "
+                  f"max buffer {result.proxy_stats.max_buffer_depth}, "
+                  f"decode failures {result.proxy_stats.decode_failures}")
+    elif args.which == "ack-reduction":
+        from repro.sidecar.ack_reduction import run_ack_reduction
+        result = run_ack_reduction(total_bytes=args.total,
+                                   loss_rate=args.loss,
+                                   ack_every=args.every,
+                                   sidecar=not args.no_sidecar,
+                                   seed=args.seed)
+        print(f"sidecar: {result.sidecar_enabled}, "
+              f"client ACK cadence: every {result.ack_every}")
+        print(f"completed: {result.completed} "
+              f"in {result.completion_time:.3f} s" if result.completed
+              else "completed: False")
+        print(f"client ACKs: {result.client_acks_sent} "
+              f"({result.client_ack_bytes} bytes)")
+        print(f"proxy quACKs: {result.proxy_quacks_sent} "
+              f"({result.quack_bytes} bytes)")
+    else:  # retransmission
+        from repro.sidecar.retransmission import run_retransmission
+        result = run_retransmission(total_bytes=args.total,
+                                    loss_rate=args.loss,
+                                    innet_retx=not args.no_sidecar,
+                                    reorder_threshold=args.reorder_threshold,
+                                    seed=args.seed)
+        print(f"in-network retransmission: {result.innet_retx_enabled}")
+        print(f"completed: {result.completed} "
+              f"in {result.completion_time:.3f} s" if result.completed
+              else "completed: False")
+        print(f"server retransmissions: {result.server_retransmissions}, "
+              f"proxy retransmissions: {result.proxy_retransmissions}")
+        print(f"congestion events: {result.server_congestion_events}")
+    return 0
+
+
+# -- parser -----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sidecar/quACK reproduction toolkit (HotNets '22)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quack = sub.add_parser("quack", help="encode/decode quACK frames")
+    quack_sub = quack.add_subparsers(dest="quack_command", required=True)
+
+    enc = quack_sub.add_parser("encode", help="received ids -> hex frame")
+    enc.add_argument("--ids", default="", help="comma-separated identifiers")
+    enc.add_argument("--threshold", type=int, default=20)
+    enc.add_argument("--bits", type=int, default=32)
+    enc.add_argument("--count-bits", type=int, default=16)
+    enc.set_defaults(func=cmd_quack_encode)
+
+    dec = quack_sub.add_parser("decode", help="hex frame + log -> missing")
+    dec.add_argument("--frame", required=True, help="hex-encoded frame")
+    dec.add_argument("--log", required=True,
+                     help="comma-separated sent identifiers")
+    dec.add_argument("--method", default="auto",
+                     choices=("auto", "candidates", "factor"))
+    dec.set_defaults(func=cmd_quack_decode)
+
+    tables = sub.add_parser("tables", help="regenerate a paper table/figure")
+    tables.add_argument("which",
+                        choices=("table2", "table3", "fig5", "fig6"))
+    tables.add_argument("--trials", type=int, default=30)
+    tables.set_defaults(func=cmd_tables)
+
+    sizing = sub.add_parser("sizing", help="Section 4.3 envelopes")
+    sizing.add_argument("which", choices=("cc-division", "ack-reduction",
+                                          "retransmission"))
+    sizing.add_argument("--rtt", type=float, default=0.060)
+    sizing.add_argument("--mbps", type=float, default=200.0)
+    sizing.add_argument("--loss", type=float, default=0.02)
+    sizing.add_argument("--every", type=int, default=32)
+    sizing.add_argument("--threshold", type=int, default=20)
+    sizing.set_defaults(func=cmd_sizing)
+
+    experiment = sub.add_parser("experiment",
+                                help="run a protocol scenario (E7-E9)")
+    experiment.add_argument("which", choices=("cc-division", "ack-reduction",
+                                              "retransmission"))
+    experiment.add_argument("--total", type=int, default=1_000_000)
+    experiment.add_argument("--loss", type=float, default=0.02)
+    experiment.add_argument("--seed", type=int, default=1)
+    experiment.add_argument("--every", type=int, default=32,
+                            help="client ACK cadence (ack-reduction)")
+    experiment.add_argument("--reorder-threshold", type=int, default=64,
+                            help="server loss tolerance (retransmission)")
+    experiment.add_argument("--no-sidecar", action="store_true",
+                            help="run the baseline without assistance")
+    experiment.set_defaults(func=cmd_experiment)
+
+    headroom = sub.add_parser(
+        "headroom", help="threshold survival vs loss burstiness (E11)")
+    headroom.add_argument("--loss", type=float, default=0.02)
+    headroom.add_argument("--trials", type=int, default=10)
+    headroom.add_argument("--packets", type=int, default=3000)
+    headroom.add_argument("--quack-every", type=int, default=32)
+    headroom.set_defaults(func=cmd_headroom)
+
+    report = sub.add_parser("report",
+                            help="generate a full markdown experiment report")
+    report.add_argument("--quick", action="store_true",
+                        help="fewer trials and smaller transfers")
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def cmd_headroom(args: argparse.Namespace) -> int:
+    from repro.bench.traces import survival_probability
+
+    print(f"session survival at {args.loss:.1%} average loss "
+          f"({args.packets} packets, quACK every {args.quack_every}):")
+    print(f"{'t':>5s} {'random':>8s} {'bursty':>8s}")
+    for threshold in (5, 10, 20, 40):
+        p_random = survival_probability(
+            threshold, args.loss, "random", trials=args.trials,
+            n=args.packets, quack_every=args.quack_every)
+        p_bursty = survival_probability(
+            threshold, args.loss, "bursty", trials=args.trials,
+            n=args.packets, quack_every=args.quack_every)
+        print(f"{threshold:>5d} {p_random:>8.2f} {p_bursty:>8.2f}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import ReportOptions, full_report
+
+    options = ReportOptions(trials=5, protocol_bytes=200_000,
+                            headroom_trials=3) if args.quick \
+        else ReportOptions()
+    text = full_report(options, progress=lambda m: print(m, file=sys.stderr))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Discrete-event network simulator: the substrate for sidecar protocols.
+
+Public surface:
+
+* :class:`~repro.netsim.core.Simulator` -- the event loop;
+* :class:`~repro.netsim.packet.Packet`, :class:`~repro.netsim.packet.PacketKind`;
+* :class:`~repro.netsim.link.Link` and the loss models in
+  :mod:`repro.netsim.loss`;
+* :class:`~repro.netsim.node.Host`, :class:`~repro.netsim.node.Router`;
+* :func:`~repro.netsim.topology.build_path`,
+  :class:`~repro.netsim.topology.HopSpec`;
+* measurement helpers in :mod:`repro.netsim.trace`.
+"""
+
+from repro.netsim.core import EventHandle, Simulator
+from repro.netsim.link import Link, LinkStats
+from repro.netsim.loss import (
+    BernoulliLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+)
+from repro.netsim.node import ForwardingPolicy, Host, Node, Router
+from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.reorder import JitterLink
+from repro.netsim.topology import (
+    HopSpec,
+    PathTopology,
+    build_parallel_paths,
+    build_path,
+)
+from repro.netsim.trace import EventTrace, FlowMonitor, PacketCounter
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Packet",
+    "PacketKind",
+    "Link",
+    "LinkStats",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "DeterministicLoss",
+    "Node",
+    "Host",
+    "Router",
+    "ForwardingPolicy",
+    "HopSpec",
+    "PathTopology",
+    "build_path",
+    "build_parallel_paths",
+    "JitterLink",
+    "FlowMonitor",
+    "PacketCounter",
+    "EventTrace",
+]

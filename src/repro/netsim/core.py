@@ -1,0 +1,131 @@
+"""A small discrete-event simulator.
+
+This is the substrate on which the sidecar protocols (paper, Section 2)
+are exercised: hosts, proxies, and links are processes exchanging packets
+in virtual time.  The design is a classic event-heap simulator:
+
+* :class:`Simulator` owns the clock and the event heap;
+* :meth:`Simulator.schedule` registers a callback after a delay and
+  returns an :class:`EventHandle` that can be cancelled (timers);
+* :meth:`Simulator.run` drains events until a deadline or quiescence.
+
+Virtual time is in float seconds.  Events at equal times fire in the order
+they were scheduled (a monotonic sequence number breaks ties), which keeps
+runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent, safe after firing)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """The virtual time at which the event fires (or would have)."""
+        return self._event.time
+
+
+class Simulator:
+    """Event loop for virtual-time simulation."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` at the absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f}, current time is {self._now:.9f}"
+            )
+        event = _Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> int:
+        """Drain the event heap.
+
+        Stops when the heap empties, when the next event lies beyond
+        ``until`` (the clock then advances to exactly ``until``), or after
+        ``max_events`` callbacks (a runaway guard for tests).  Returns the
+        number of callbacks executed.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from inside an event callback")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def peek_next_time(self) -> float | None:
+        """Virtual time of the next live event, or None if idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)

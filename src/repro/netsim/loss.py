@@ -1,0 +1,123 @@
+"""Loss models for simulated links.
+
+The sidecar story is about paths with "a single hop with nontrivial
+noncongestive loss" (paper, Section 1) -- satellite, Wi-Fi, cellular.  We
+provide the standard models:
+
+* :class:`NoLoss` -- a clean wired hop;
+* :class:`BernoulliLoss` -- i.i.d. random loss at a fixed rate;
+* :class:`GilbertElliottLoss` -- bursty two-state loss (good/bad channel),
+  the canonical wireless model;
+* :class:`DeterministicLoss` -- drop an explicit set of packet ordinals,
+  for reproducible unit tests.
+
+Models are stateful; use one instance per link direction.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.netsim.packet import Packet
+
+
+class LossModel(ABC):
+    """Decides the fate of each packet crossing a link."""
+
+    @abstractmethod
+    def should_drop(self, packet: Packet) -> bool:
+        """True if this packet is lost on the wire."""
+
+
+class NoLoss(LossModel):
+    def should_drop(self, packet: Packet) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss(LossModel):
+    """Each packet is dropped independently with probability ``rate``."""
+
+    def __init__(self, rate: float, rng: random.Random | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng if rng is not None else random.Random(0x10557)
+
+    def should_drop(self, packet: Packet) -> bool:
+        return self.rng.random() < self.rate
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss({self.rate})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov loss: a good state and a lossy bad state.
+
+    Args:
+        p_good_to_bad: transition probability good -> bad, per packet.
+        p_bad_to_good: transition probability bad -> good, per packet.
+        loss_good: drop probability while in the good state.
+        loss_bad: drop probability while in the bad state.
+
+    The steady-state loss rate is
+    ``(pi_bad * loss_bad + pi_good * loss_good)`` with
+    ``pi_bad = p_gb / (p_gb + p_bg)``; :meth:`steady_state_loss_rate`
+    computes it for calibrating experiments.
+    """
+
+    def __init__(self, p_good_to_bad: float, p_bad_to_good: float,
+                 loss_good: float = 0.0, loss_bad: float = 0.5,
+                 rng: random.Random | None = None) -> None:
+        for name, value in (("p_good_to_bad", p_good_to_bad),
+                            ("p_bad_to_good", p_bad_to_good),
+                            ("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.rng = rng if rng is not None else random.Random(0x6E0)
+        self._in_bad_state = False
+
+    def should_drop(self, packet: Packet) -> bool:
+        if self._in_bad_state:
+            if self.rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if self.rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        rate = self.loss_bad if self._in_bad_state else self.loss_good
+        return self.rng.random() < rate
+
+    def steady_state_loss_rate(self) -> float:
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        if denominator == 0:
+            return self.loss_bad if self._in_bad_state else self.loss_good
+        pi_bad = self.p_good_to_bad / denominator
+        return pi_bad * self.loss_bad + (1 - pi_bad) * self.loss_good
+
+    def __repr__(self) -> str:
+        return (f"GilbertElliottLoss(gb={self.p_good_to_bad}, "
+                f"bg={self.p_bad_to_good}, lg={self.loss_good}, "
+                f"lb={self.loss_bad})")
+
+
+class DeterministicLoss(LossModel):
+    """Drop the packets at the given 0-based ordinals crossing the link."""
+
+    def __init__(self, drop_ordinals: set[int] | frozenset[int]) -> None:
+        self.drop_ordinals = frozenset(drop_ordinals)
+        self._seen = 0
+
+    def should_drop(self, packet: Packet) -> bool:
+        drop = self._seen in self.drop_ordinals
+        self._seen += 1
+        return drop
+
+    def __repr__(self) -> str:
+        return f"DeterministicLoss({sorted(self.drop_ordinals)!r})"

@@ -1,0 +1,123 @@
+"""Measurement helpers: flow monitors and event traces.
+
+The experiment harness needs goodput, completion time, per-kind packet
+counts, and time series of deliveries; these classes collect them without
+entangling measurement with protocol logic (protocol agents call
+``record_*`` at the relevant points, or a :class:`PacketCounter` is added
+as a router tap).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.netsim.packet import Packet, PacketKind
+
+
+@dataclass
+class DeliverySample:
+    time: float
+    cumulative_bytes: int
+
+
+class FlowMonitor:
+    """Tracks application-level progress of one transfer."""
+
+    def __init__(self, name: str = "flow") -> None:
+        self.name = name
+        self.samples: list[DeliverySample] = []
+        self.total_bytes = 0
+        self.first_delivery: float | None = None
+        self.last_delivery: float | None = None
+        self.completed_at: float | None = None
+
+    def record_delivery(self, byte_count: int, now: float) -> None:
+        self.total_bytes += byte_count
+        if self.first_delivery is None:
+            self.first_delivery = now
+        self.last_delivery = now
+        self.samples.append(DeliverySample(now, self.total_bytes))
+
+    def record_completion(self, now: float) -> None:
+        self.completed_at = now
+
+    @property
+    def duration(self) -> float:
+        """Seconds from time zero to the last delivery."""
+        return self.last_delivery if self.last_delivery is not None else 0.0
+
+    def goodput_bps(self, until: float | None = None) -> float:
+        """Average delivered rate over [0, until] (or the full trace)."""
+        horizon = until if until is not None else self.duration
+        if horizon <= 0:
+            return 0.0
+        if until is None:
+            return self.total_bytes * 8 / horizon
+        index = bisect.bisect_right([s.time for s in self.samples], until) - 1
+        delivered = self.samples[index].cumulative_bytes if index >= 0 else 0
+        return delivered * 8 / horizon
+
+    def bytes_delivered_by(self, time: float) -> int:
+        index = bisect.bisect_right([s.time for s in self.samples], time) - 1
+        return self.samples[index].cumulative_bytes if index >= 0 else 0
+
+
+class PacketCounter:
+    """A router/host tap counting packets and bytes by kind."""
+
+    def __init__(self) -> None:
+        self.packets: dict[PacketKind, int] = {kind: 0 for kind in PacketKind}
+        self.bytes: dict[PacketKind, int] = {kind: 0 for kind in PacketKind}
+
+    def __call__(self, packet: Packet) -> None:
+        self.packets[packet.kind] += 1
+        self.bytes[packet.kind] += packet.size_bytes
+
+    @property
+    def total_packets(self) -> int:
+        return sum(self.packets.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+
+@dataclass
+class TraceEvent:
+    time: float
+    where: str
+    what: str
+    packet_uid: int
+    kind: str
+    size_bytes: int
+
+
+class EventTrace:
+    """An append-only log of packet events, filterable for debugging."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped_events = 0
+
+    def record(self, time: float, where: str, what: str,
+               packet: Packet) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped_events += 1
+            return
+        self.events.append(TraceEvent(time, where, what, packet.uid,
+                                      packet.kind.value, packet.size_bytes))
+
+    def filtered(self, where: str | None = None,
+                 what: str | None = None) -> Iterable[TraceEvent]:
+        for event in self.events:
+            if where is not None and event.where != where:
+                continue
+            if what is not None and event.what != what:
+                continue
+            yield event
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,200 @@
+"""The two strawman quACKs the paper compares against (Sections 1, 4.1).
+
+* **Strawman 1** (:class:`EchoQuack`): "echo the identifier of every
+  received packet to the sender, who calculates a set difference with its
+  sent packets to find the missing packets.  This approach uses
+  extraordinary bandwidth" -- ``b * n`` bits on the wire.
+
+* **Strawman 2** (:class:`HashQuack`): "a hash of a sorted concatenation
+  of all the received packets", which the sender inverts by hashing
+  "every subset of sent packets of the same size until it finds the
+  correct subset.  This approach can easily become computationally
+  infeasible" -- C(n, m) subset hashes; ~7e+06 days for n=1000, m=20 in
+  the paper's Table 2.  :func:`HashQuack.estimate_decode_seconds`
+  extrapolates that infeasible cost from a measured small-instance rate,
+  exactly as the paper's table does.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+from collections import Counter
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.errors import DecodeError, InconsistentQuackError
+from repro.quack.base import DecodeResult, DecodeStatus, Quack, QuackScheme
+
+
+class EchoQuack(Quack):
+    """Strawman 1: the quACK is the full list of received identifiers."""
+
+    scheme = QuackScheme.ECHO
+
+    __slots__ = ("bits", "_received")
+
+    def __init__(self, bits: int = 32) -> None:
+        self.bits = bits
+        self._received: Counter = Counter()
+
+    def insert(self, identifier: int) -> None:
+        self._received[identifier] += 1
+
+    def insert_many(self, identifiers: Iterable[int]) -> None:
+        self._received.update(int(i) for i in identifiers)
+
+    @property
+    def count(self) -> int:
+        return sum(self._received.values())
+
+    @property
+    def received(self) -> Counter:
+        """The echoed multiset (what actually crosses the wire)."""
+        return Counter(self._received)
+
+    def wire_size_bits(self) -> int:
+        """``b * n`` bits -- every received identifier, verbatim."""
+        return self.bits * self.count
+
+    def decode(self, sent_log: Sequence[int]) -> DecodeResult:
+        """Multiset difference ``S - R``; trivially exact."""
+        missing = Counter(int(i) for i in sent_log)
+        missing.subtract(self._received)
+        if any(v < 0 for v in missing.values()):
+            return DecodeResult(status=DecodeStatus.INCONSISTENT,
+                                num_missing=max(0, len(sent_log) - self.count))
+        flat = tuple(sorted(missing.elements()))
+        return DecodeResult(missing=flat, num_missing=len(flat))
+
+
+class HashQuack(Quack):
+    """Strawman 2: a digest of the sorted received identifiers plus a count.
+
+    Args:
+        bits: identifier width (affects how identifiers are packed into the
+            digest input).
+        count_bits: size of the count field; Table 2 uses ``c = 16`` for a
+            ``256 + 16 = 272``-bit quACK.
+        max_subsets: decoding refuses to enumerate more than this many
+            subsets, raising :class:`~repro.errors.DecodeError` -- the
+            "computationally infeasible" wall.  Raise it consciously in
+            tests/benchmarks for tiny instances.
+    """
+
+    scheme = QuackScheme.HASH
+
+    DIGEST_BITS = 256
+
+    __slots__ = ("bits", "count_bits", "max_subsets", "_sorted", "_frozen")
+
+    def __init__(self, bits: int = 32, count_bits: int = 16,
+                 max_subsets: int = 2_000_000) -> None:
+        self.bits = bits
+        self.count_bits = count_bits
+        self.max_subsets = max_subsets
+        self._sorted: list[int] = []
+        #: (digest, count) for instances reconstructed from the wire, which
+        #: carry the digest but not the underlying multiset.
+        self._frozen: tuple[bytes, int] | None = None
+
+    @classmethod
+    def from_digest(cls, digest: bytes, count: int, bits: int = 32,
+                    count_bits: int = 16) -> "HashQuack":
+        """Rebuild the receiver's view from a deserialized digest + count.
+
+        The resulting instance can decode but not accumulate further
+        identifiers (the multiset behind the digest is unknown).
+        """
+        quack = cls(bits=bits, count_bits=count_bits)
+        quack._frozen = (bytes(digest), int(count))
+        return quack
+
+    def insert(self, identifier: int) -> None:
+        if self._frozen is not None:
+            raise DecodeError("cannot insert into a digest-only HashQuack")
+        bisect.insort(self._sorted, int(identifier))
+
+    def insert_many(self, identifiers: Iterable[int]) -> None:
+        if self._frozen is not None:
+            raise DecodeError("cannot insert into a digest-only HashQuack")
+        self._sorted.extend(int(i) for i in identifiers)
+        self._sorted.sort()
+
+    @property
+    def count(self) -> int:
+        if self._frozen is not None:
+            return self._frozen[1]
+        return len(self._sorted)
+
+    def digest(self) -> bytes:
+        """The 256-bit hash of the sorted concatenation."""
+        if self._frozen is not None:
+            return self._frozen[0]
+        return _digest_sorted(self._sorted, self.bits)
+
+    def wire_size_bits(self) -> int:
+        """``256 + c`` bits (Table 2: 272 bits)."""
+        return self.DIGEST_BITS + self.count_bits
+
+    def decode(self, sent_log: Sequence[int]) -> DecodeResult:
+        """Subset search: hash every same-size subset of the log.
+
+        Enumerates the C(n, m) ways to drop ``m`` entries from the log and
+        compares digests.  Guarded by ``max_subsets``.
+        """
+        target = self.digest()
+        log = sorted(int(i) for i in sent_log)
+        m = len(log) - self.count
+        if m < 0:
+            return DecodeResult(status=DecodeStatus.INCONSISTENT, num_missing=0)
+        if m == 0:
+            if _digest_sorted(log, self.bits) == target:
+                return DecodeResult()
+            return DecodeResult(status=DecodeStatus.INCONSISTENT, num_missing=0)
+        total = math.comb(len(log), m)
+        if total > self.max_subsets:
+            raise DecodeError(
+                f"subset search needs {total} digests (C({len(log)}, {m})); "
+                f"refusing beyond max_subsets={self.max_subsets}. This is "
+                f"the strawman's 'computationally infeasible' regime."
+            )
+        for drop_indices in combinations(range(len(log)), m):
+            dropped = set(drop_indices)
+            remainder = [v for i, v in enumerate(log) if i not in dropped]
+            if _digest_sorted(remainder, self.bits) == target:
+                missing = tuple(log[i] for i in drop_indices)
+                return DecodeResult(missing=tuple(sorted(missing)),
+                                    num_missing=m)
+        raise InconsistentQuackError(
+            "no subset of the sender log matches the received digest"
+        )
+
+    # -- cost model ---------------------------------------------------------
+
+    @staticmethod
+    def subsets_to_search(n: int, m: int) -> int:
+        """Worst-case number of digests for a log of ``n`` and ``m`` missing."""
+        return math.comb(n, m)
+
+    @classmethod
+    def estimate_decode_seconds(cls, n: int, m: int,
+                                digests_per_second: float) -> float:
+        """Extrapolate the worst-case decode time from a measured rate.
+
+        Table 2's "~7e+06 days" entry is exactly this extrapolation: the
+        paper could not run C(1000, 20) ~ 3.4e41 hashes either.
+        """
+        if digests_per_second <= 0:
+            raise ValueError("digests_per_second must be positive")
+        return cls.subsets_to_search(n, m) / digests_per_second
+
+
+def _digest_sorted(sorted_ids: Sequence[int], bits: int) -> bytes:
+    """SHA-256 over the fixed-width big-endian concatenation of ``sorted_ids``."""
+    width = (bits + 7) // 8
+    hasher = hashlib.sha256()
+    for identifier in sorted_ids:
+        hasher.update(int(identifier).to_bytes(width, "big"))
+    return hasher.digest()

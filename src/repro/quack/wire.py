@@ -1,0 +1,184 @@
+"""Wire format for quACKs.
+
+The paper reports quACK sizes as raw payload bits (``t*b + c = 656`` bits
+for the power-sum scheme in Table 2); the sidecar protocol additionally
+needs a self-describing frame so endpoints can negotiate parameters.  This
+module provides that frame:
+
+========  =====  ==========================================
+offset    size   field
+========  =====  ==========================================
+0         2      magic ``b"qK"``
+2         1      version (currently 1)
+3         1      scheme (:class:`~repro.quack.base.QuackScheme`)
+4         1      flags (bit 0: a count field is present)
+5..       --     scheme-specific body
+========  =====  ==========================================
+
+Power-sum body: ``bits`` (1), ``threshold`` (2, big-endian), ``count_bits``
+(1), the wrapped count (``ceil(c/8)`` bytes), then ``t`` power sums of
+``ceil(b/8)`` bytes each.  The count may be omitted (flags bit 0 clear) for
+the ACK-reduction configuration in which "we can omit c, which is always
+n" (Section 4.3); the deserializer then takes the count from context.
+
+Echo body: ``bits`` (1), ``n`` (4), then ``n`` identifiers.
+Hash body: ``bits`` (1), ``count_bits`` (1), count, 32-byte SHA-256 digest.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import WireFormatError
+from repro.quack.base import Quack, QuackScheme
+from repro.quack.power_sum import PowerSumQuack
+from repro.quack.strawman import EchoQuack, HashQuack
+
+MAGIC = b"qK"
+VERSION = 1
+_FLAG_HAS_COUNT = 0x01
+
+
+def _bytes_for_bits(bits: int) -> int:
+    return (bits + 7) // 8
+
+
+def encode(quack: Quack, include_count: bool = True) -> bytes:
+    """Serialize any quACK into a self-describing frame."""
+    if isinstance(quack, PowerSumQuack):
+        return _encode_power_sum(quack, include_count)
+    if isinstance(quack, EchoQuack):
+        return _encode_echo(quack)
+    if isinstance(quack, HashQuack):
+        return _encode_hash(quack)
+    raise WireFormatError(f"cannot serialize {type(quack).__name__}")
+
+
+def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
+    """Parse a frame back into a quACK object.
+
+    ``implicit_count`` supplies the packet count for frames serialized
+    without one (the ACK-reduction optimization); it is ignored otherwise.
+    """
+    if len(frame) < 5:
+        raise WireFormatError(f"frame too short: {len(frame)} bytes")
+    if frame[:2] != MAGIC:
+        raise WireFormatError(f"bad magic {frame[:2]!r}")
+    version, scheme_raw, flags = frame[2], frame[3], frame[4]
+    if version != VERSION:
+        raise WireFormatError(f"unsupported version {version}")
+    try:
+        scheme = QuackScheme(scheme_raw)
+    except ValueError as exc:
+        raise WireFormatError(f"unknown scheme {scheme_raw}") from exc
+    body = frame[5:]
+    has_count = bool(flags & _FLAG_HAS_COUNT)
+    if scheme is QuackScheme.POWER_SUM:
+        return _decode_power_sum(body, has_count, implicit_count)
+    if scheme is QuackScheme.ECHO:
+        return _decode_echo(body)
+    return _decode_hash(body)
+
+
+# -- power sum ----------------------------------------------------------------
+
+def _encode_power_sum(quack: PowerSumQuack, include_count: bool) -> bytes:
+    flags = _FLAG_HAS_COUNT if include_count else 0
+    parts = [MAGIC, bytes((VERSION, QuackScheme.POWER_SUM, flags))]
+    parts.append(struct.pack(">BHB", quack.bits, quack.threshold,
+                             quack.count_bits))
+    if include_count:
+        parts.append(quack.count.to_bytes(_bytes_for_bits(quack.count_bits),
+                                          "big"))
+    width = _bytes_for_bits(quack.bits)
+    for value in quack.power_sums:
+        parts.append(value.to_bytes(width, "big"))
+    return b"".join(parts)
+
+
+def _decode_power_sum(body: bytes, has_count: bool,
+                      implicit_count: int | None) -> PowerSumQuack:
+    if len(body) < 4:
+        raise WireFormatError("truncated power-sum header")
+    bits, threshold, count_bits = struct.unpack(">BHB", body[:4])
+    offset = 4
+    if has_count:
+        count_width = _bytes_for_bits(count_bits)
+        if len(body) < offset + count_width:
+            raise WireFormatError("truncated count field")
+        count = int.from_bytes(body[offset:offset + count_width], "big")
+        offset += count_width
+    elif implicit_count is None:
+        raise WireFormatError(
+            "frame omits the count and no implicit_count was supplied"
+        )
+    else:
+        count = implicit_count & ((1 << count_bits) - 1)
+    width = _bytes_for_bits(bits)
+    expected = offset + threshold * width
+    if len(body) != expected:
+        raise WireFormatError(
+            f"power-sum body is {len(body)} bytes, expected {expected}"
+        )
+    quack = PowerSumQuack(threshold, bits, count_bits)
+    sums = []
+    for i in range(threshold):
+        start = offset + i * width
+        value = int.from_bytes(body[start:start + width], "big")
+        if value >= quack.field.modulus:
+            raise WireFormatError(
+                f"power sum {value} is not a residue mod {quack.field.modulus}"
+            )
+        sums.append(value)
+    quack._sums = sums
+    quack._count = count
+    return quack
+
+
+# -- echo -----------------------------------------------------------------------
+
+def _encode_echo(quack: EchoQuack) -> bytes:
+    ids = sorted(quack.received.elements())
+    parts = [MAGIC, bytes((VERSION, QuackScheme.ECHO, _FLAG_HAS_COUNT)),
+             struct.pack(">BI", quack.bits, len(ids))]
+    width = _bytes_for_bits(quack.bits)
+    parts.extend(int(i).to_bytes(width, "big") for i in ids)
+    return b"".join(parts)
+
+
+def _decode_echo(body: bytes) -> EchoQuack:
+    if len(body) < 5:
+        raise WireFormatError("truncated echo header")
+    bits, n = struct.unpack(">BI", body[:5])
+    width = _bytes_for_bits(bits)
+    expected = 5 + n * width
+    if len(body) != expected:
+        raise WireFormatError(f"echo body is {len(body)} bytes, expected {expected}")
+    quack = EchoQuack(bits)
+    for i in range(n):
+        start = 5 + i * width
+        quack.insert(int.from_bytes(body[start:start + width], "big"))
+    return quack
+
+
+# -- hash ------------------------------------------------------------------------
+
+def _encode_hash(quack: HashQuack) -> bytes:
+    parts = [MAGIC, bytes((VERSION, QuackScheme.HASH, _FLAG_HAS_COUNT)),
+             struct.pack(">BB", quack.bits, quack.count_bits),
+             quack.count.to_bytes(_bytes_for_bits(quack.count_bits), "big"),
+             quack.digest()]
+    return b"".join(parts)
+
+
+def _decode_hash(body: bytes) -> HashQuack:
+    if len(body) < 2:
+        raise WireFormatError("truncated hash header")
+    bits, count_bits = struct.unpack(">BB", body[:2])
+    count_width = _bytes_for_bits(count_bits)
+    expected = 2 + count_width + HashQuack.DIGEST_BITS // 8
+    if len(body) != expected:
+        raise WireFormatError(f"hash body is {len(body)} bytes, expected {expected}")
+    count = int.from_bytes(body[2:2 + count_width], "big")
+    digest = body[2 + count_width:]
+    return HashQuack.from_digest(digest, count, bits=bits, count_bits=count_bits)

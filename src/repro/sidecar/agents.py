@@ -1,0 +1,289 @@
+"""Sidecar agents: the glue between quACK state machines and the network.
+
+Three reusable agents implement the roles of Table 1:
+
+* :class:`HostEmitterAgent` -- the client-side library: observes DATA
+  packets arriving at a host, emits quACKs to a sidecar peer (proxy or
+  server) under a frequency policy, with an optional periodic timer.
+* :class:`ServerSidecar` -- the server-side library: logs every packet
+  the transport sends, consumes quACKs arriving at the server, and feeds
+  the decoded receipts/losses into the
+  :class:`~repro.transport.connection.SenderConnection` window hooks.
+* :class:`ProxyEmitterTap` -- a pure-observer proxy sidecar: watches DATA
+  packets traversing a router toward the client and quACKs them to the
+  server (the ACK-reduction proxy, Section 2.2).
+
+Protocol-specific proxies (the pacing proxy of congestion-control
+division and the buffering retransmitter) live in their own modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QuackError
+from repro.netsim.core import Simulator
+from repro.netsim.node import Host, Router
+from repro.netsim.packet import Packet, PacketKind
+from repro.quack.base import DecodeStatus
+from repro.sidecar.consumer import QuackConsumer
+from repro.sidecar.emitter import QuackEmitter
+from repro.sidecar.frequency import FrequencyPolicy
+from repro.sidecar.protocol import (
+    QuackMessage,
+    ResetMessage,
+    quack_packet,
+    reset_packet,
+)
+from repro.transport.connection import SenderConnection, SentPacketRecord
+
+#: Default quACK threshold, the paper's running configuration (t=20).
+DEFAULT_THRESHOLD = 20
+
+
+class HostEmitterAgent:
+    """Client-side quACK library: observe arrivals, emit quACKs to a peer."""
+
+    def __init__(self, sim: Simulator, host: Host, peer: str, flow_id: str,
+                 policy: FrequencyPolicy,
+                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32) -> None:
+        self.sim = sim
+        self.host = host
+        self.peer = peer
+        self.flow_id = flow_id
+        self.threshold = threshold
+        self.bits = bits
+        self.policy = policy
+        self.emitter = QuackEmitter(threshold, bits, policy=policy)
+        self.quacks_sent = 0
+        self.epoch = 0
+        self.resets_applied = 0
+        host.add_handler(PacketKind.DATA, self._observe)
+        host.add_handler(PacketKind.CONTROL, self._on_control)
+        interval = policy.interval_hint()
+        if interval is not None:
+            sim.schedule(interval, self._tick, interval)
+
+    def _observe(self, packet: Packet) -> None:
+        if packet.flow_id != self.flow_id or packet.identifier is None:
+            return
+        snapshot = self.emitter.observe(packet.identifier, self.sim.now)
+        if snapshot is not None:
+            self._send(snapshot)
+
+    def _on_control(self, packet: Packet) -> None:
+        message = packet.payload
+        if isinstance(message, ResetMessage) \
+                and message.flow_id == self.flow_id:
+            self._apply_reset(message.epoch)
+
+    def _apply_reset(self, epoch: int) -> None:
+        if epoch <= self.epoch:
+            return  # stale or duplicate reset
+        self.epoch = epoch
+        self.resets_applied += 1
+        self.emitter = QuackEmitter(self.threshold, self.bits,
+                                    policy=self.policy)
+
+    def _tick(self, interval: float) -> None:
+        if self.emitter.pending_packets:
+            self._send(self.emitter.emit(self.sim.now))
+        self.sim.schedule(interval, self._tick, interval)
+
+    def _send(self, snapshot) -> None:
+        self.quacks_sent += 1
+        self.host.send(quack_packet(self.host.name, self.peer, snapshot,
+                                    self.flow_id, self.sim.now,
+                                    epoch=self.epoch))
+
+
+@dataclass
+class ServerSidecarStats:
+    quacks_received: int = 0
+    decode_failures: int = 0
+    receipts_applied: int = 0
+    losses_applied: int = 0
+    indeterminate_seen: int = 0
+    resets_initiated: int = 0
+    stale_epoch_quacks: int = 0
+
+
+class ServerSidecar:
+    """Server-side quACK library feeding the sender's window hooks.
+
+    With ``reset_after_failures`` set, the sidecar also runs the
+    Section 3.3 reset protocol: after that many consecutive decode
+    failures it pauses the transport, lets the pipe drain for
+    ``settle_time`` (which must exceed the path's worst-case delivery
+    time), restarts its cumulative state under a new epoch, tells the
+    emitter via :class:`~repro.sidecar.protocol.ResetMessage`, waits
+    another ``settle_time`` (so nothing sent pre-reset can be counted in
+    the new epoch) and resumes.  QuACKs from older epochs are discarded
+    and answered with a repeat reset, which makes the handshake robust to
+    lost control datagrams.
+    """
+
+    def __init__(self, sim: Simulator, sender: SenderConnection,
+                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32,
+                 grace: int = 1, congestive_loss: bool = True,
+                 apply_losses: bool = True,
+                 reset_after_failures: int | None = None,
+                 settle_time: float = 0.25) -> None:
+        self.sim = sim
+        self.sender = sender
+        self.congestive_loss = congestive_loss
+        self.apply_losses = apply_losses
+        self.reset_after_failures = reset_after_failures
+        self.settle_time = settle_time
+        self.consumer = QuackConsumer(threshold, bits, grace=grace)
+        self.stats = ServerSidecarStats()
+        self.epoch = 0
+        self._consecutive_failures = 0
+        self._settling = False
+        self._peer: str | None = None
+        sender.add_send_listener(self._on_send)
+        sender.host.add_handler(PacketKind.QUACK, self._on_quack_packet)
+
+    def _on_send(self, record: SentPacketRecord) -> None:
+        if self._settling:
+            return  # nothing should be in flight, but belt and braces
+        self.consumer.record_send(record.identifier, record.packet_number,
+                                  self.sim.now)
+
+    def _on_quack_packet(self, packet: Packet) -> None:
+        message = packet.payload
+        if not isinstance(message, QuackMessage) \
+                or message.flow_id != self.sender.flow_id:
+            return
+        self.stats.quacks_received += 1
+        self._peer = packet.src
+        if message.epoch != self.epoch:
+            self.stats.stale_epoch_quacks += 1
+            if message.epoch < self.epoch:
+                # The emitter missed the reset; repeat it.
+                self._send_reset()
+            return
+        if self._settling:
+            return  # snapshots of the abandoned state
+        try:
+            quack = message.quack()
+        except (QuackError, TypeError):
+            # Corrupt or alien frame: sidecar traffic is best-effort, so
+            # drop it and wait for the next cumulative snapshot.
+            self._register_failure()
+            return
+        feedback = self.consumer.on_quack(quack, self.sim.now)
+        if not feedback.ok:
+            self._register_failure()
+            return
+        self._consecutive_failures = 0
+        self.stats.indeterminate_seen += len(feedback.indeterminate)
+        if feedback.received:
+            self.stats.receipts_applied += len(feedback.received)
+            self.sender.sidecar_receipt(feedback.received)
+        if feedback.lost and self.apply_losses:
+            self.stats.losses_applied += len(feedback.lost)
+            self.sender.sidecar_loss(feedback.lost,
+                                     congestive=self.congestive_loss)
+
+    # -- reset protocol (Section 3.3) -------------------------------------------
+
+    def _register_failure(self) -> None:
+        self.stats.decode_failures += 1
+        self._consecutive_failures += 1
+        if (self.reset_after_failures is not None
+                and not self._settling
+                and self._consecutive_failures >= self.reset_after_failures):
+            self._begin_reset()
+
+    def _begin_reset(self) -> None:
+        self.stats.resets_initiated += 1
+        self._settling = True
+        self.sender.pause()
+        self.sim.schedule(self.settle_time, self._complete_reset)
+
+    def _complete_reset(self) -> None:
+        # The pipe has drained: restart the session state.
+        self.consumer.reset()
+        self.epoch += 1
+        self._consecutive_failures = 0
+        self._send_reset()
+        self.sim.schedule(self.settle_time, self._resume)
+
+    def _resume(self) -> None:
+        self._settling = False
+        self.sender.resume()
+
+    def _send_reset(self) -> None:
+        if self._peer is None:
+            return
+        self.sender.host.send(reset_packet(
+            self.sender.host.name, self._peer,
+            ResetMessage(flow_id=self.sender.flow_id, epoch=self.epoch),
+            self.sim.now))
+
+
+class ProxyEmitterTap:
+    """Proxy sidecar that quACKs forwarded DATA packets to the server.
+
+    Attach to a router with ``router.add_tap(tap.observe)``.  Observes
+    packets heading toward ``client`` for ``flow_id`` and sends quACK
+    snapshots back to ``server`` (the ACK-reduction proxy role: "The
+    proxy can send quACKs, e.g., every other packet", Section 2.2).
+    """
+
+    def __init__(self, sim: Simulator, router: Router, server: str,
+                 client: str, flow_id: str, policy: FrequencyPolicy,
+                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32) -> None:
+        self.sim = sim
+        self.router = router
+        self.server = server
+        self.client = client
+        self.flow_id = flow_id
+        self.threshold = threshold
+        self.bits = bits
+        self.policy = policy
+        self.emitter = QuackEmitter(threshold, bits, policy=policy)
+        self.quacks_sent = 0
+        self.epoch = 0
+        self.resets_applied = 0
+        router.add_tap(self.observe)
+        interval = policy.interval_hint()
+        if interval is not None:
+            sim.schedule(interval, self._tick, interval)
+
+    def observe(self, packet: Packet) -> None:
+        if packet.dst == self.router.name:
+            message = packet.payload
+            if (packet.kind is PacketKind.CONTROL
+                    and isinstance(message, ResetMessage)
+                    and message.flow_id == self.flow_id):
+                self._apply_reset(message.epoch)
+            return
+        if (packet.kind is not PacketKind.DATA
+                or packet.dst != self.client
+                or packet.flow_id != self.flow_id
+                or packet.identifier is None):
+            return
+        snapshot = self.emitter.observe(packet.identifier, self.sim.now)
+        if snapshot is not None:
+            self._send(snapshot)
+
+    def _apply_reset(self, epoch: int) -> None:
+        if epoch <= self.epoch:
+            return
+        self.epoch = epoch
+        self.resets_applied += 1
+        self.emitter = QuackEmitter(self.threshold, self.bits,
+                                    policy=self.policy)
+
+    def _tick(self, interval: float) -> None:
+        if self.emitter.pending_packets:
+            self._send(self.emitter.emit(self.sim.now))
+        self.sim.schedule(interval, self._tick, interval)
+
+    def _send(self, snapshot) -> None:
+        self.quacks_sent += 1
+        self.router.send(quack_packet(self.router.name, self.server, snapshot,
+                                      self.flow_id, self.sim.now,
+                                      epoch=self.epoch))

@@ -1,0 +1,262 @@
+"""Sender-side sidecar state: the log, decoding, and loss declaration.
+
+This runs wherever packets *leave* toward the quACKing observer -- the
+server host (Sections 2.1, 2.2) or the sender-side proxy (Section 2.3).
+It keeps the paper's Section 3.2 sender state: a cumulative power-sum
+quACK over everything sent, a log of unresolved packets, and a count --
+and implements the Section 3.3 practical refinements:
+
+* **Resetting the threshold** -- packets decoded as lost are removed from
+  the log *and* the sender's power sums, so they do not eat into the
+  threshold of the next quACK.
+* **Re-ordered packets** -- a missing packet is only *declared* lost after
+  it has been reported missing by ``grace`` consecutive quACK decodes
+  (grace=1 declares immediately); until then it is merely "suspected".
+* **In-flight packets** -- when the count difference ``m`` exceeds the
+  threshold ``t``, the log suffix is truncated so exactly ``t`` packets
+  can be missing, "considering the truncated packets to be in transit";
+  and "any continuous suffix of missing packets" in the decoded log is
+  also treated as in transit rather than missing.
+* **Dropped quACKs** cost nothing: all state is cumulative.
+
+Identifier collisions yield *indeterminate* entries (no strikes, reported
+separately), per Section 3.2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.quack.base import DecodeStatus
+from repro.quack.decoder import decode_delta
+from repro.quack.power_sum import PowerSumQuack
+
+
+@dataclass
+class LogEntry:
+    """One unresolved sent packet."""
+
+    identifier: int
+    meta: Any
+    sent_at: float
+    strikes: int = 0
+
+
+@dataclass
+class QuackFeedback:
+    """What one quACK told the sender.
+
+    ``received``/``lost``/``suspected``/``indeterminate`` carry the
+    ``meta`` objects passed to :meth:`QuackConsumer.record_send` (packet
+    numbers, buffered packets -- whatever the protocol needs back).
+    """
+
+    status: DecodeStatus
+    received: list[Any] = field(default_factory=list)
+    lost: list[Any] = field(default_factory=list)
+    suspected: list[Any] = field(default_factory=list)
+    indeterminate: list[Any] = field(default_factory=list)
+    in_transit: int = 0
+    num_missing: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is DecodeStatus.OK
+
+
+@dataclass
+class ConsumerStats:
+    sent_logged: int = 0
+    quacks_processed: int = 0
+    quacks_failed: int = 0
+    declared_lost: int = 0
+    confirmed_received: int = 0
+
+
+class QuackConsumer:
+    """Sender-side quACK session state."""
+
+    def __init__(self, threshold: int, bits: int = 32, count_bits: int = 16,
+                 grace: int = 1, decode_method: str = "auto",
+                 trailing_in_transit: bool = True) -> None:
+        if grace < 1:
+            raise ValueError(f"grace must be >= 1 quACK, got {grace}")
+        self.mine = PowerSumQuack(threshold, bits, count_bits)
+        self.grace = grace
+        self.decode_method = decode_method
+        self.trailing_in_transit = trailing_in_transit
+        self.log: list[LogEntry] = []
+        self.stats = ConsumerStats()
+
+    @property
+    def threshold(self) -> int:
+        return self.mine.threshold
+
+    def record_send(self, identifier: int, meta: Any, now: float) -> None:
+        """Log one transmitted packet (amortized power-sum update)."""
+        self.mine.insert(identifier)
+        self.log.append(LogEntry(identifier, meta, now))
+        self.stats.sent_logged += 1
+
+    @property
+    def outstanding(self) -> int:
+        """Unresolved log entries (sent, neither confirmed nor lost)."""
+        return len(self.log)
+
+    # -- the decode pipeline ---------------------------------------------------
+
+    def on_quack(self, theirs: PowerSumQuack, now: float) -> QuackFeedback:
+        """Process one received quACK; returns the decoded feedback.
+
+        On a decode failure (threshold exceeded after truncation is
+        impossible by construction, but inconsistent differences happen
+        when a "lost" packet later arrived), no state is modified and the
+        failure is reported in ``feedback.status``; the session owner
+        decides whether to reset (Section 3.3: "the sender and receiver
+        must reset the connection if they wish to use the quACK").
+        """
+        self.stats.quacks_processed += 1
+        if (not isinstance(theirs, PowerSumQuack)
+                or theirs.field != self.mine.field
+                or theirs.threshold != self.mine.threshold
+                or theirs.count_bits != self.mine.count_bits):
+            # Parameter mismatch (e.g. a peer misconfigured after a
+            # renegotiation): a protocol error to report, not a crash.
+            self.stats.quacks_failed += 1
+            return QuackFeedback(status=DecodeStatus.INCONSISTENT)
+        m_total = (self.mine.count - theirs.count) \
+            & ((1 << self.mine.count_bits) - 1)
+        if m_total > len(self.log):
+            self.stats.quacks_failed += 1
+            return QuackFeedback(status=DecodeStatus.INCONSISTENT,
+                                 num_missing=m_total)
+
+        kept = self.log
+        truncated_mine = self.mine
+        in_transit = 0
+        if m_total > self.threshold:
+            # Section 3.3, "In-flight packets": treat the newest
+            # (m - t) unresolved packets as in transit and decode the rest.
+            drop = m_total - self.threshold
+            kept = self.log[:len(self.log) - drop]
+            truncated_mine = self.mine.copy()
+            for entry in self.log[len(self.log) - drop:]:
+                truncated_mine.remove(entry.identifier)
+            in_transit = drop
+
+        delta = truncated_mine - theirs
+        result = decode_delta(delta, [e.identifier for e in kept],
+                              method=self.decode_method)
+        if not result.ok:
+            self.stats.quacks_failed += 1
+            return QuackFeedback(status=result.status,
+                                 num_missing=result.num_missing,
+                                 in_transit=in_transit)
+
+        missing = Counter(result.missing)
+        ambiguous_ids = set()
+        for group_ids, _count in result.indeterminate:
+            ambiguous_ids.update(group_ids)
+
+        # Assign missing marks to the *latest* entries per identifier (the
+        # newest copies are likeliest to still be en route).
+        marks = self._mark_entries(kept, missing)
+
+        feedback = QuackFeedback(status=DecodeStatus.OK,
+                                 num_missing=result.num_missing,
+                                 in_transit=in_transit)
+        # Trailing continuous run of missing entries is in transit.
+        tail_start = len(kept)
+        if self.trailing_in_transit:
+            while tail_start > 0 and marks[tail_start - 1]:
+                tail_start -= 1
+            feedback.in_transit += len(kept) - tail_start
+
+        survivors: list[LogEntry] = []
+        for index, entry in enumerate(kept):
+            if entry.identifier in ambiguous_ids:
+                feedback.indeterminate.append(entry.meta)
+                survivors.append(entry)
+            elif marks[index]:
+                if index >= tail_start:
+                    survivors.append(entry)  # in transit: no strike
+                else:
+                    entry.strikes += 1
+                    if entry.strikes >= self.grace:
+                        feedback.lost.append(entry.meta)
+                        self.mine.remove(entry.identifier)
+                        self.stats.declared_lost += 1
+                    else:
+                        feedback.suspected.append(entry.meta)
+                        survivors.append(entry)
+            else:
+                feedback.received.append(entry.meta)
+                self.stats.confirmed_received += 1
+        # The truncated suffix stays in the log untouched.
+        survivors.extend(self.log[len(kept):])
+        self.log = survivors
+        return feedback
+
+    @staticmethod
+    def _mark_entries(kept: list[LogEntry],
+                      missing: Counter) -> list[bool]:
+        """True per entry if it carries one of the missing identifiers.
+
+        For identifiers sent multiple times, the *latest* copies absorb
+        the missing marks.
+        """
+        marks = [False] * len(kept)
+        budget = Counter(missing)
+        for index in range(len(kept) - 1, -1, -1):
+            identifier = kept[index].identifier
+            if budget.get(identifier, 0) > 0:
+                budget[identifier] -= 1
+                marks[index] = True
+        return marks
+
+    def expire_older_than(self, now: float, age: float) -> list[Any]:
+        """Give up on entries sent more than ``age`` seconds ago.
+
+        Expired entries are removed from the log *and* the sender's power
+        sums (like declared losses) and their metas returned.  This is a
+        safety valve against trailing losses that the
+        continuous-suffix-in-transit rule would otherwise keep "in
+        transit" forever.  ``age`` must comfortably exceed the worst-case
+        delivery time of the observed segment: expiring a packet that
+        later arrives desynchronizes the cumulative power sums for the
+        rest of the session (the reordering hazard of Section 3.3).
+        """
+        cutoff = now - age
+        expired: list[Any] = []
+        survivors: list[LogEntry] = []
+        for entry in self.log:
+            if entry.sent_at < cutoff:
+                expired.append(entry.meta)
+                self.mine.remove(entry.identifier)
+                self.stats.declared_lost += 1
+            else:
+                survivors.append(entry)
+        self.log = survivors
+        return expired
+
+    def evict_oldest(self) -> Any | None:
+        """Write off the single oldest unresolved entry (buffer bound).
+
+        Same power-sum bookkeeping (and the same reordering hazard) as
+        :meth:`expire_older_than`; returns the evicted meta, or None when
+        the log is empty.
+        """
+        if not self.log:
+            return None
+        entry = self.log.pop(0)
+        self.mine.remove(entry.identifier)
+        self.stats.declared_lost += 1
+        return entry.meta
+
+    def reset(self) -> None:
+        """Hard session reset (after unrecoverable decode failures)."""
+        self.mine = PowerSumQuack(self.mine.threshold, self.mine.bits,
+                                  self.mine.count_bits)
+        self.log.clear()

@@ -1,0 +1,62 @@
+"""Receiver-side sidecar state: accumulate identifiers, emit quACKs.
+
+This is the piece that runs wherever packets *arrive* -- on the client
+host ("installing a library on the client to generate quACKs",
+Section 2.1) or on a proxy's tap (Sections 2.2, 2.3).  It folds every
+observed identifier into a cumulative power-sum quACK and, guided by a
+:class:`~repro.sidecar.frequency.FrequencyPolicy`, hands out snapshots to
+put on the wire.
+
+The accumulator is never reset: cumulativeness is what makes the scheme
+"resilient to quACKs that are dropped in transmission" (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quack.power_sum import PowerSumQuack
+from repro.sidecar.frequency import FrequencyPolicy, PacketCountFrequency
+
+
+@dataclass
+class EmitterStats:
+    observed: int = 0
+    emitted: int = 0
+    emitted_bytes: int = 0
+
+
+class QuackEmitter:
+    """Observes identifiers; produces quACK snapshots per policy."""
+
+    def __init__(self, threshold: int, bits: int = 32, count_bits: int = 16,
+                 policy: FrequencyPolicy | None = None) -> None:
+        self.quack = PowerSumQuack(threshold, bits, count_bits)
+        self.policy = policy if policy is not None else PacketCountFrequency(2)
+        self.stats = EmitterStats()
+        self._packets_since_emit = 0
+        self._last_emit = 0.0
+
+    def observe(self, identifier: int, now: float) -> PowerSumQuack | None:
+        """Fold one identifier in; returns a snapshot if one is due now."""
+        self.quack.insert(identifier)
+        self.stats.observed += 1
+        self._packets_since_emit += 1
+        if self.policy.on_packet(self._packets_since_emit, now,
+                                 self._last_emit):
+            return self.emit(now)
+        return None
+
+    def emit(self, now: float) -> PowerSumQuack:
+        """Unconditionally produce a snapshot (timer-driven emission)."""
+        self._packets_since_emit = 0
+        self._last_emit = now
+        self.stats.emitted += 1
+        snapshot = self.quack.copy()
+        self.stats.emitted_bytes += (snapshot.wire_size_bits() + 7) // 8
+        return snapshot
+
+    @property
+    def pending_packets(self) -> int:
+        """Identifiers observed since the last emission."""
+        return self._packets_since_emit

@@ -1,0 +1,112 @@
+"""QuACK communication-frequency policies (paper, Sections 3.2 and 4.3).
+
+"The receiver may configure ... the communication frequency of quACKs",
+and Section 4.3 prescribes one policy per sidecar protocol:
+
+* congestion-control division: "we quACK only once per RTT" --
+  :class:`IntervalFrequency`;
+* ACK reduction: "the receiver could quACK e.g. every n = 32 packets,
+  similar to TCP which ACKs every other packet" --
+  :class:`PacketCountFrequency`;
+* in-network retransmission: "should change dynamically based on the loss
+  ratio ... could target a constant t = 20 missing packets per quACK" --
+  :class:`AdaptiveFrequency`.
+
+A policy answers two questions: *should a quACK go out now that a packet
+arrived?* (:meth:`FrequencyPolicy.on_packet`) and *how long until a
+timer-driven emission?* (:meth:`FrequencyPolicy.interval_hint`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class FrequencyPolicy(ABC):
+    """Decides when a sidecar emits quACKs."""
+
+    @abstractmethod
+    def on_packet(self, packets_since_emit: int, now: float,
+                  last_emit: float) -> bool:
+        """Emit right after this packet arrival?"""
+
+    def interval_hint(self) -> float | None:
+        """Periodic emission interval, or None for purely packet-driven."""
+        return None
+
+
+class IntervalFrequency(FrequencyPolicy):
+    """Emit once per fixed interval (e.g. once per RTT, Section 4.3)."""
+
+    def __init__(self, interval_s: float) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.interval_s = interval_s
+
+    def on_packet(self, packets_since_emit: int, now: float,
+                  last_emit: float) -> bool:
+        return now - last_emit >= self.interval_s
+
+    def interval_hint(self) -> float | None:
+        return self.interval_s
+
+    def __repr__(self) -> str:
+        return f"IntervalFrequency({self.interval_s * 1e3:.1f} ms)"
+
+
+class PacketCountFrequency(FrequencyPolicy):
+    """Emit every ``every_n`` observed packets (ACK-reduction cadence)."""
+
+    def __init__(self, every_n: int) -> None:
+        if every_n < 1:
+            raise ValueError(f"every_n must be >= 1, got {every_n}")
+        self.every_n = every_n
+
+    def on_packet(self, packets_since_emit: int, now: float,
+                  last_emit: float) -> bool:
+        return packets_since_emit >= self.every_n
+
+    def __repr__(self) -> str:
+        return f"PacketCountFrequency(every {self.every_n} packets)"
+
+
+class AdaptiveFrequency(FrequencyPolicy):
+    """Loss-adaptive cadence for in-network retransmission (Section 4.3).
+
+    Starts from an initial packet count and accepts retuning from the
+    *sender-side* proxy, which "determines the loss ratio, and can
+    configure the communication frequency accordingly" (Section 2.3):
+    given an observed loss ratio and the quACK threshold ``t``, the sender
+    targets roughly ``target_missing`` losses per quACK, i.e. one quACK
+    every ``target_missing / loss_ratio`` packets, clamped to
+    ``[min_every, max_every]``.
+    """
+
+    def __init__(self, initial_every: int = 16, min_every: int = 2,
+                 max_every: int = 512, target_missing: int = 10) -> None:
+        if not 1 <= min_every <= initial_every <= max_every:
+            raise ValueError(
+                f"need 1 <= min_every <= initial_every <= max_every, got "
+                f"{min_every}, {initial_every}, {max_every}"
+            )
+        self.every_n = initial_every
+        self.min_every = min_every
+        self.max_every = max_every
+        self.target_missing = target_missing
+
+    def on_packet(self, packets_since_emit: int, now: float,
+                  last_emit: float) -> bool:
+        return packets_since_emit >= self.every_n
+
+    def retune(self, loss_ratio: float) -> int:
+        """Adopt a new cadence for the observed loss ratio; returns it."""
+        if loss_ratio <= 0:
+            desired = self.max_every
+        else:
+            desired = int(self.target_missing / loss_ratio)
+        self.every_n = max(self.min_every, min(self.max_every, max(1, desired)))
+        return self.every_n
+
+    def __repr__(self) -> str:
+        return (f"AdaptiveFrequency(every={self.every_n}, "
+                f"target_missing={self.target_missing})")

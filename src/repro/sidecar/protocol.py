@@ -1,0 +1,110 @@
+"""Sidecar-protocol wire messages and packet helpers.
+
+Sidecar messages travel as ordinary datagrams between consenting sidecars
+(host libraries and proxies).  They are not E2E-encrypted -- the sidecar
+channel is its own protocol, deliberately decoupled from the base
+transport (paper, Section 2).  Two message types cover the protocols of
+Table 1:
+
+* :class:`QuackMessage` -- carries one serialized quACK snapshot;
+* :class:`ConfigMessage` -- (re)configures the peer's quACK parameters
+  and communication frequency ("They can also configure sidecar protocol
+  parameters with each other such as the communication frequency and
+  properties of the quACK", Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.packet import Packet, PacketKind
+from repro.quack import wire
+from repro.quack.power_sum import PowerSumQuack
+
+#: IP/UDP overhead of a sidecar datagram.
+SIDECAR_HEADER_BYTES = 28
+
+
+@dataclass(frozen=True)
+class QuackMessage:
+    """One quACK snapshot, serialized with :mod:`repro.quack.wire`.
+
+    ``epoch`` supports the Section 3.3 reset protocol: after an
+    unrecoverable decode divergence both sides restart their cumulative
+    state under a new epoch number, and snapshots from older epochs are
+    discarded (they describe the abandoned state).
+    """
+
+    frame: bytes
+    flow_id: str
+    epoch: int = 0
+
+    def quack(self, implicit_count: int | None = None) -> PowerSumQuack:
+        decoded = wire.decode(self.frame, implicit_count=implicit_count)
+        if not isinstance(decoded, PowerSumQuack):
+            raise TypeError("sidecar QuackMessage must carry a power-sum quACK")
+        return decoded
+
+
+@dataclass(frozen=True)
+class ResetMessage:
+    """Sender -> receiver: abandon the cumulative state; begin ``epoch``.
+
+    Section 3.3: "If the number of missing packets exceeds the threshold,
+    the sender and receiver must reset the connection if they wish to use
+    the quACK."  The consumer side originates the reset (it is the one
+    that detects decode failure); the emitter adopts the new epoch and a
+    fresh accumulator.  Resends are idempotent: an emitter already at
+    ``epoch`` ignores the message.
+    """
+
+    flow_id: str
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ConfigMessage:
+    """Retune the peer's emitter (frequency and quACK parameters)."""
+
+    flow_id: str
+    every_n: int | None = None
+    interval_s: float | None = None
+    threshold: int | None = None
+
+
+def quack_packet(src: str, dst: str, quack: PowerSumQuack, flow_id: str,
+                 now: float, include_count: bool = True,
+                 epoch: int = 0) -> Packet:
+    """Wrap a quACK snapshot in a datagram addressed to a sidecar peer."""
+    frame = wire.encode(quack, include_count=include_count)
+    return Packet(
+        src=src, dst=dst,
+        size_bytes=SIDECAR_HEADER_BYTES + len(frame),
+        kind=PacketKind.QUACK,
+        identifier=None, flow_id=flow_id, created_at=now,
+        payload=QuackMessage(frame=frame, flow_id=flow_id, epoch=epoch),
+    )
+
+
+def reset_packet(src: str, dst: str, message: ResetMessage,
+                 now: float) -> Packet:
+    """Wrap a session reset in a datagram."""
+    return Packet(
+        src=src, dst=dst,
+        size_bytes=SIDECAR_HEADER_BYTES + 8,
+        kind=PacketKind.CONTROL,
+        identifier=None, flow_id=message.flow_id, created_at=now,
+        payload=message,
+    )
+
+
+def config_packet(src: str, dst: str, message: ConfigMessage,
+                  now: float) -> Packet:
+    """Wrap a configuration update in a datagram."""
+    return Packet(
+        src=src, dst=dst,
+        size_bytes=SIDECAR_HEADER_BYTES + 16,
+        kind=PacketKind.CONTROL,
+        identifier=None, flow_id=message.flow_id, created_at=now,
+        payload=message,
+    )

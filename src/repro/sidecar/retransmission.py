@@ -1,0 +1,268 @@
+"""Sidecar protocol #3: in-network (PEP-to-PEP) retransmission (Section 2.3).
+
+Fig. 4: two proxies bracket a lossy path segment.  The receiver-side
+proxy quACKs the packets that made it across; the sender-side proxy
+"does not need to read or modify packet contents, just hold packets in a
+buffer in case they need to be retransmitted".  The quACK cadence is
+loss-adaptive: "The sender-side proxy determines the loss ratio, and can
+configure the communication frequency accordingly" -- sent to the peer as
+a sidecar :class:`~repro.sidecar.protocol.ConfigMessage`.
+
+End hosts play no role (Table 1: server role None, client role None); the
+benefit materializes "when the RTT between the two routers is
+significantly smaller than the end-to-end RTT" because local repair beats
+an end-to-end retransmission by that RTT ratio.
+
+:func:`run_retransmission` (experiment E9) runs a transfer across
+server -- p1 -- p2 -- client where p1--p2 is the short lossy hop, with the
+retransmitter on/off, and reports completion time, goodput, and how many
+repairs were local vs end-to-end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netsim.core import Simulator
+from repro.netsim.loss import BernoulliLoss
+from repro.sidecar.cc_division import make_loss_model
+from repro.netsim.node import Host, Router
+from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.topology import HopSpec, build_path
+from repro.sidecar.agents import DEFAULT_THRESHOLD
+from repro.sidecar.consumer import QuackConsumer
+from repro.sidecar.emitter import QuackEmitter
+from repro.sidecar.frequency import AdaptiveFrequency
+from repro.sidecar.protocol import (
+    ConfigMessage,
+    QuackMessage,
+    config_packet,
+    quack_packet,
+)
+from repro.transport.connection import ReceiverConnection, SenderConnection
+
+
+@dataclass
+class RetxProxyStats:
+    logged: int = 0
+    retransmitted: int = 0
+    confirmed: int = 0
+    evicted: int = 0
+    decode_failures: int = 0
+    retunes_sent: int = 0
+
+
+class SenderSideRetxProxy:
+    """The buffering/retransmitting proxy (right-hand side of Fig. 4)."""
+
+    def __init__(self, sim: Simulator, router: Router, peer_proxy: str,
+                 client: str, flow_id: str,
+                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32,
+                 max_buffer: int = 4096, grace: int = 1,
+                 retune_period_s: float = 0.25,
+                 target_missing: int = 10) -> None:
+        self.sim = sim
+        self.router = router
+        self.peer_proxy = peer_proxy
+        self.client = client
+        self.flow_id = flow_id
+        self.max_buffer = max_buffer
+        self.target_missing = target_missing
+        self.consumer = QuackConsumer(threshold, bits, grace=grace)
+        self.stats = RetxProxyStats()
+        self._window_received = 0
+        self._window_lost = 0
+        router.add_tap(self._tap)
+        sim.schedule(retune_period_s, self._retune, retune_period_s)
+
+    def _tap(self, packet: Packet) -> None:
+        if packet.dst == self.router.name:
+            if packet.kind is PacketKind.QUACK:
+                self._on_quack(packet)
+            return
+        if (packet.kind is PacketKind.DATA and packet.dst == self.client
+                and packet.flow_id == self.flow_id
+                and packet.identifier is not None):
+            self._log(packet)
+
+    def _log(self, packet: Packet) -> None:
+        if self.consumer.outstanding >= self.max_buffer:
+            # Write off the oldest buffered packet to bound memory.
+            if self.consumer.evict_oldest() is not None:
+                self.stats.evicted += 1
+        self.consumer.record_send(packet.identifier, packet, self.sim.now)
+        self.stats.logged += 1
+
+    def _on_quack(self, packet: Packet) -> None:
+        message = packet.payload
+        if not isinstance(message, QuackMessage) \
+                or message.flow_id != self.flow_id:
+            return
+        feedback = self.consumer.on_quack(message.quack(), self.sim.now)
+        if not feedback.ok:
+            self.stats.decode_failures += 1
+            return
+        self.stats.confirmed += len(feedback.received)
+        self._window_received += len(feedback.received)
+        self._window_lost += len(feedback.lost)
+        for lost_packet in feedback.lost:
+            # Retransmit across the lossy segment; same packet, same
+            # identifier -- re-logged so the next quACK covers the repair.
+            self.consumer.record_send(lost_packet.identifier, lost_packet,
+                                      self.sim.now)
+            self.stats.retransmitted += 1
+            self.router.emit(lost_packet)
+
+    def observed_loss_ratio(self) -> float:
+        total = self._window_received + self._window_lost
+        return self._window_lost / total if total else 0.0
+
+    def _retune(self, period: float) -> None:
+        total = self._window_received + self._window_lost
+        if total >= 50:
+            ratio = self.observed_loss_ratio()
+            every = max(2, min(512, int(self.target_missing / ratio)
+                               if ratio > 0 else 512))
+            message = ConfigMessage(flow_id=self.flow_id, every_n=every)
+            self.router.send(config_packet(self.router.name, self.peer_proxy,
+                                           message, self.sim.now))
+            self.stats.retunes_sent += 1
+            self._window_received = 0
+            self._window_lost = 0
+        self.sim.schedule(period, self._retune, period)
+
+
+class ReceiverSideRetxProxy:
+    """The quACKing proxy (left-hand side of Fig. 4)."""
+
+    def __init__(self, sim: Simulator, router: Router, peer_proxy: str,
+                 client: str, flow_id: str,
+                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32,
+                 policy: AdaptiveFrequency | None = None) -> None:
+        self.sim = sim
+        self.router = router
+        self.peer_proxy = peer_proxy
+        self.client = client
+        self.flow_id = flow_id
+        self.policy = policy if policy is not None else AdaptiveFrequency(
+            initial_every=8)
+        self.emitter = QuackEmitter(threshold, bits, policy=self.policy)
+        self.quacks_sent = 0
+        self.retunes_applied = 0
+        router.add_tap(self._tap)
+
+    def _tap(self, packet: Packet) -> None:
+        if packet.dst == self.router.name:
+            if (packet.kind is PacketKind.CONTROL
+                    and isinstance(packet.payload, ConfigMessage)
+                    and packet.payload.flow_id == self.flow_id
+                    and packet.payload.every_n is not None):
+                self.policy.every_n = max(self.policy.min_every,
+                                          min(self.policy.max_every,
+                                              packet.payload.every_n))
+                self.retunes_applied += 1
+            return
+        if (packet.kind is PacketKind.DATA and packet.dst == self.client
+                and packet.flow_id == self.flow_id
+                and packet.identifier is not None):
+            snapshot = self.emitter.observe(packet.identifier, self.sim.now)
+            if snapshot is not None:
+                self.quacks_sent += 1
+                self.router.send(quack_packet(self.router.name,
+                                              self.peer_proxy, snapshot,
+                                              self.flow_id, self.sim.now))
+
+
+@dataclass
+class RetransmissionResult:
+    """Outcome of one E9 run."""
+
+    innet_retx_enabled: bool
+    completed: bool
+    completion_time: float | None
+    goodput_bps: float
+    server_packets_sent: int
+    server_retransmissions: int
+    server_congestion_events: int
+    proxy_retransmissions: int
+    proxy_quacks: int
+    proxy_decode_failures: int
+    client_duplicates: int
+
+
+def run_retransmission(total_bytes: int = 1_500_000,
+                       edge_mbps: float = 100.0,
+                       server_p1_delay: float = 0.04,
+                       lossy_mbps: float = 50.0,
+                       lossy_delay: float = 0.002,
+                       p2_client_delay: float = 0.002,
+                       loss_rate: float = 0.05,
+                       innet_retx: bool = True,
+                       reorder_threshold: int = 3,
+                       seed: int = 1,
+                       threshold: int = DEFAULT_THRESHOLD,
+                       loss_process: str = "random",
+                       max_sim_seconds: float = 120.0) -> RetransmissionResult:
+    """E9: transfer across a short lossy middle hop, +/- local repair.
+
+    ``reorder_threshold`` is the server's loss-detection tolerance: 3 is
+    the unchanged QUIC host of the paper; larger values model a host that
+    waits long enough for local repair to win (the E9 ablation).
+    """
+    sim = Simulator()
+    server = Host(sim, "server")
+    p1 = Router(sim, "p1")
+    p2 = Router(sim, "p2")
+    client = Host(sim, "client")
+    rng = random.Random(seed)
+    build_path(sim, [server, p1, p2, client], [
+        HopSpec(bandwidth_bps=edge_mbps * 1e6, delay_s=server_p1_delay),
+        HopSpec(bandwidth_bps=lossy_mbps * 1e6, delay_s=lossy_delay,
+                loss_up=make_loss_model(loss_rate, loss_process,
+                                        random.Random(rng.random()))),
+        HopSpec(bandwidth_bps=edge_mbps * 1e6, delay_s=p2_client_delay),
+    ])
+
+    flow_id = "flow0"
+    receiver = ReceiverConnection(sim, client, "server", total_bytes,
+                                  flow_id=flow_id)
+    sender = SenderConnection(sim, server, "client", total_bytes,
+                              flow_id=flow_id,
+                              reorder_threshold=reorder_threshold)
+
+    sender_proxy: SenderSideRetxProxy | None = None
+    receiver_proxy: ReceiverSideRetxProxy | None = None
+    if innet_retx:
+        sender_proxy = SenderSideRetxProxy(sim, p1, peer_proxy="p2",
+                                           client="client", flow_id=flow_id,
+                                           threshold=threshold)
+        receiver_proxy = ReceiverSideRetxProxy(sim, p2, peer_proxy="p1",
+                                               client="client",
+                                               flow_id=flow_id,
+                                               threshold=threshold)
+
+    sender.start()
+    while sim.now < max_sim_seconds:
+        sim.run(until=min(sim.now + 0.5, max_sim_seconds))
+        if sender.complete and receiver.complete:
+            break
+        if sim.peek_next_time() is None:
+            break
+
+    completion = receiver.completed_at
+    return RetransmissionResult(
+        innet_retx_enabled=innet_retx,
+        completed=receiver.complete,
+        completion_time=completion,
+        goodput_bps=receiver.monitor.goodput_bps(completion),
+        server_packets_sent=sender.stats.packets_sent,
+        server_retransmissions=sender.stats.retransmitted_packets,
+        server_congestion_events=sender.cc.congestion_events,
+        proxy_retransmissions=(sender_proxy.stats.retransmitted
+                               if sender_proxy else 0),
+        proxy_quacks=receiver_proxy.quacks_sent if receiver_proxy else 0,
+        proxy_decode_failures=(sender_proxy.stats.decode_failures
+                               if sender_proxy else 0),
+        client_duplicates=receiver.stats.duplicate_packets,
+    )

@@ -1,0 +1,112 @@
+"""Connection instrumentation: periodic state sampling and text charts.
+
+Protocol behaviour is easiest to judge from time series -- cwnd
+evolution, bytes in flight, RTT inflation.  :class:`ConnectionProbe`
+samples a :class:`~repro.transport.connection.SenderConnection` on a
+fixed virtual-time cadence (stopping itself at completion), and
+:func:`ascii_chart` renders a series as a terminal-friendly plot for the
+examples and for debugging experiment runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.netsim.core import Simulator
+from repro.transport.connection import SenderConnection
+
+
+@dataclass(frozen=True)
+class ConnectionSample:
+    """One instant of sender state."""
+
+    time: float
+    cwnd_bytes: int
+    bytes_in_flight: int
+    srtt: float
+    packets_sent: int
+    retransmitted: int
+
+
+class ConnectionProbe:
+    """Samples a sender every ``interval_s`` of virtual time."""
+
+    def __init__(self, sim: Simulator, sender: SenderConnection,
+                 interval_s: float = 0.05) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.sim = sim
+        self.sender = sender
+        self.interval_s = interval_s
+        self.samples: list[ConnectionSample] = []
+        self._stopped = False
+        self._tick()
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.samples.append(ConnectionSample(
+            time=self.sim.now,
+            cwnd_bytes=int(self.sender.cc.cwnd),
+            bytes_in_flight=self.sender.bytes_in_flight,
+            srtt=self.sender.rtt.srtt,
+            packets_sent=self.sender.stats.packets_sent,
+            retransmitted=self.sender.stats.retransmitted_packets,
+        ))
+        if self.sender.complete:
+            self._stopped = True
+            return
+        self.sim.schedule(self.interval_s, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling (idempotent)."""
+        self._stopped = True
+
+    def series(self, field: str) -> tuple[list[float], list[float]]:
+        """``(times, values)`` for one sample attribute."""
+        times = [s.time for s in self.samples]
+        values = [float(getattr(s, field)) for s in self.samples]
+        return times, values
+
+    def cwnd_packets_series(self,
+                            datagram_bytes: int | None = None) -> tuple[list[float], list[float]]:
+        datagram = datagram_bytes if datagram_bytes is not None \
+            else self.sender.cc.datagram_bytes
+        times, values = self.series("cwnd_bytes")
+        return times, [v / datagram for v in values]
+
+
+def ascii_chart(values: Sequence[float], width: int = 72, height: int = 12,
+                label: str = "") -> str:
+    """Render a series as a block-character chart.
+
+    Values are bucketed to ``width`` columns (bucket mean) and scaled to
+    ``height`` rows.  Returns a multi-line string; empty input yields a
+    placeholder.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("chart dimensions must be positive")
+    series = [float(v) for v in values]
+    if not series:
+        return f"{label} (no data)"
+    # Bucket into `width` columns.
+    columns: list[float] = []
+    for i in range(min(width, len(series))):
+        lo = i * len(series) // min(width, len(series))
+        hi = max(lo + 1, (i + 1) * len(series) // min(width, len(series)))
+        bucket = series[lo:hi]
+        columns.append(sum(bucket) / len(bucket))
+    top = max(columns)
+    bottom = min(columns)
+    span = top - bottom or 1.0
+    rows: list[str] = []
+    for row in range(height, 0, -1):
+        # The bottom row's cutoff equals the minimum, so every column
+        # paints at least one cell (flat series render as a floor line).
+        cutoff = bottom + span * (row - 1) / height
+        line = "".join("#" if value >= cutoff else " " for value in columns)
+        rows.append(line)
+    header = f"{label}  [min {bottom:.3g}, max {top:.3g}]" if label else \
+        f"[min {bottom:.3g}, max {top:.3g}]"
+    return "\n".join([header] + rows)

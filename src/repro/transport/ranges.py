@@ -1,0 +1,107 @@
+"""Integer interval sets, used for ACK ranges and received-byte tracking.
+
+A :class:`RangeSet` stores a set of non-negative integers as sorted,
+disjoint, inclusive ranges ``[lo, hi]``.  QUIC expresses both its ACK
+frames and its stream reassembly state this way; we reuse one structure
+for both (packet numbers and byte offsets).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+
+class RangeSet:
+    """A set of ints as sorted disjoint inclusive ranges."""
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges: Iterable[tuple[int, int]] = ()) -> None:
+        self._ranges: list[tuple[int, int]] = []
+        for lo, hi in ranges:
+            self.add_range(lo, hi)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, value: int) -> None:
+        self.add_range(value, value)
+
+    def add_range(self, lo: int, hi: int) -> None:
+        """Insert the inclusive range [lo, hi], merging neighbours."""
+        if lo > hi:
+            raise ValueError(f"inverted range [{lo}, {hi}]")
+        ranges = self._ranges
+        # Find the window of existing ranges that touch [lo-1, hi+1].
+        i = bisect.bisect_left(ranges, (lo,)) - 1
+        if i >= 0 and ranges[i][1] >= lo - 1:
+            start = i
+        else:
+            start = i + 1
+        j = start
+        new_lo, new_hi = lo, hi
+        while j < len(ranges) and ranges[j][0] <= hi + 1:
+            new_lo = min(new_lo, ranges[j][0])
+            new_hi = max(new_hi, ranges[j][1])
+            j += 1
+        ranges[start:j] = [(new_lo, new_hi)]
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, value: int) -> bool:
+        i = bisect.bisect_right(self._ranges, (value, float("inf"))) - 1
+        return i >= 0 and self._ranges[i][0] <= value <= self._ranges[i][1]
+
+    def __len__(self) -> int:
+        """Total count of integers covered."""
+        return sum(hi - lo + 1 for lo, hi in self._ranges)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RangeSet) and other._ranges == self._ranges
+
+    @property
+    def ranges(self) -> tuple[tuple[int, int], ...]:
+        return tuple(self._ranges)
+
+    @property
+    def max_value(self) -> int | None:
+        return self._ranges[-1][1] if self._ranges else None
+
+    @property
+    def min_value(self) -> int | None:
+        return self._ranges[0][0] if self._ranges else None
+
+    def covers_contiguously(self, lo: int, hi: int) -> bool:
+        """True if every integer in [lo, hi] is present."""
+        i = bisect.bisect_right(self._ranges, (lo, float("inf"))) - 1
+        return (i >= 0 and self._ranges[i][0] <= lo
+                and self._ranges[i][1] >= hi)
+
+    def missing_below(self, ceiling: int) -> list[tuple[int, int]]:
+        """Inclusive gaps in [min_value, ceiling] not covered by the set.
+
+        Gaps are reported between the set's smallest element and
+        ``ceiling``; values below the smallest element are not considered
+        missing (nothing is known about them).
+        """
+        gaps: list[tuple[int, int]] = []
+        previous_hi: int | None = None
+        for lo, hi in self._ranges:
+            if lo > ceiling:
+                break
+            if previous_hi is not None and lo > previous_hi + 1:
+                gaps.append((previous_hi + 1, min(lo - 1, ceiling)))
+            previous_hi = hi
+        if previous_hi is not None and previous_hi < ceiling:
+            gaps.append((previous_hi + 1, ceiling))
+        return gaps
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{lo},{hi}]" for lo, hi in self._ranges)
+        return f"RangeSet({inner})"

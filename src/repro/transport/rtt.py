@@ -1,0 +1,61 @@
+"""RTT estimation (RFC 9002, Section 5).
+
+Maintains the smoothed RTT, RTT variance, and minimum RTT from ACK-derived
+samples, and derives the probe timeout (PTO) interval the sender arms
+after sending ack-eliciting data.
+"""
+
+from __future__ import annotations
+
+#: Initial RTT assumed before the first sample (RFC 9002 recommends 333 ms;
+#: we use a smaller value suited to simulated paths).
+INITIAL_RTT = 0.1
+
+#: PTO granularity floor.
+GRANULARITY = 0.001
+
+
+class RttEstimator:
+    """EWMA RTT state: srtt, rttvar, min_rtt."""
+
+    __slots__ = ("srtt", "rttvar", "min_rtt", "latest", "has_sample")
+
+    def __init__(self, initial_rtt: float = INITIAL_RTT) -> None:
+        self.srtt = initial_rtt
+        self.rttvar = initial_rtt / 2
+        self.min_rtt = float("inf")
+        self.latest = initial_rtt
+        self.has_sample = False
+
+    def update(self, sample: float, ack_delay: float = 0.0) -> None:
+        """Fold in one RTT sample (seconds)."""
+        if sample <= 0:
+            return
+        self.latest = sample
+        self.min_rtt = min(self.min_rtt, sample)
+        # Subtract peer ack delay only if it leaves us above min_rtt.
+        adjusted = sample
+        if adjusted - ack_delay >= self.min_rtt:
+            adjusted -= ack_delay
+        if not self.has_sample:
+            self.srtt = adjusted
+            self.rttvar = adjusted / 2
+            self.has_sample = True
+            return
+        self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - adjusted)
+        self.srtt = 0.875 * self.srtt + 0.125 * adjusted
+
+    def pto_interval(self, max_ack_delay: float = 0.025,
+                     backoff_exponent: int = 0) -> float:
+        """Probe timeout, with exponential backoff."""
+        base = self.srtt + max(4 * self.rttvar, GRANULARITY) + max_ack_delay
+        return base * (2 ** backoff_exponent)
+
+    def loss_time_threshold(self) -> float:
+        """Time-threshold loss detection delay (9/8 of the larger RTT)."""
+        return max(9 / 8 * max(self.srtt, self.latest), GRANULARITY)
+
+    def __repr__(self) -> str:
+        return (f"RttEstimator(srtt={self.srtt * 1e3:.2f}ms, "
+                f"var={self.rttvar * 1e3:.2f}ms, "
+                f"min={self.min_rtt * 1e3:.2f}ms)")

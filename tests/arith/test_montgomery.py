@@ -1,0 +1,141 @@
+"""Tests for repro.arith.montgomery (Montgomery and log-table backends)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.field import PrimeField
+from repro.arith.montgomery import LogTableField, MontgomeryField
+from repro.errors import ArithmeticDomainError
+
+P16 = 65_521
+P32 = 4_294_967_291
+P64 = 18_446_744_073_709_551_557
+
+
+class TestMontgomeryField:
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            MontgomeryField(2 ** 16)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            MontgomeryField(2)
+
+    @pytest.mark.parametrize("p", [P16, P32, P64, 251])
+    def test_roundtrip_conversion(self, p):
+        m = MontgomeryField(p)
+        for a in (0, 1, 2, p - 1, p // 2, 12345 % p):
+            assert m.from_mont(m.to_mont(a)) == a
+
+    @given(a=st.integers(min_value=0, max_value=P32 - 1),
+           b=st.integers(min_value=0, max_value=P32 - 1))
+    @settings(max_examples=80)
+    def test_mul_matches_plain(self, a, b):
+        m = MontgomeryField(P32)
+        got = m.from_mont(m.mul(m.to_mont(a), m.to_mont(b)))
+        assert got == a * b % P32
+
+    @given(a=st.integers(min_value=0, max_value=P64 - 1),
+           b=st.integers(min_value=0, max_value=P64 - 1))
+    @settings(max_examples=40)
+    def test_mul_matches_plain_64bit(self, a, b):
+        m = MontgomeryField(P64)
+        got = m.from_mont(m.mul(m.to_mont(a), m.to_mont(b)))
+        assert got == a * b % P64
+
+    @given(a=st.integers(min_value=0, max_value=P32 - 1),
+           b=st.integers(min_value=0, max_value=P32 - 1))
+    @settings(max_examples=40)
+    def test_add_sub_in_domain(self, a, b):
+        m = MontgomeryField(P32)
+        am, bm = m.to_mont(a), m.to_mont(b)
+        assert m.from_mont(m.add(am, bm)) == (a + b) % P32
+        assert m.from_mont(m.sub(am, bm)) == (a - b) % P32
+
+    @given(a=st.integers(min_value=0, max_value=P32 - 1),
+           e=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40)
+    def test_pow(self, a, e):
+        m = MontgomeryField(P32)
+        assert m.from_mont(m.pow(m.to_mont(a), e)) == pow(a, e, P32)
+
+    def test_pow_negative_exponent_rejected(self):
+        m = MontgomeryField(P32)
+        with pytest.raises(ArithmeticDomainError):
+            m.pow(m.to_mont(3), -1)
+
+
+class TestLogTableField:
+    @pytest.fixture(scope="class")
+    def lt(self):
+        return LogTableField(P16)
+
+    def test_rejects_large_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            LogTableField(P32)
+
+    def test_rejects_composite(self):
+        with pytest.raises(ArithmeticDomainError):
+            LogTableField(65_520)
+
+    def test_generator_is_primitive(self, lt):
+        f = PrimeField(P16)
+        # The generator's order must be exactly p - 1.
+        order = P16 - 1
+        for q in (2, 3, 5, 7, 13, 17, 241):  # prime factors of 65520
+            if order % q == 0:
+                assert f.pow(lt.generator, order // q) != 1
+
+    @given(a=st.integers(min_value=0, max_value=P16 - 1),
+           b=st.integers(min_value=0, max_value=P16 - 1))
+    @settings(max_examples=100)
+    def test_mul_matches_plain(self, a, b):
+        lt = LogTableField(P16)
+        assert lt.mul(a, b) == a * b % P16
+
+    def test_mul_with_zero(self, lt):
+        assert lt.mul(0, 12345) == 0
+        assert lt.mul(12345, 0) == 0
+        assert lt.mul(0, 0) == 0
+
+    @given(a=st.integers(min_value=1, max_value=P16 - 1))
+    @settings(max_examples=50)
+    def test_inverse(self, a):
+        lt = LogTableField(P16)
+        assert lt.mul(a, lt.inv(a)) == 1
+
+    def test_inverse_of_zero(self, lt):
+        with pytest.raises(ArithmeticDomainError):
+            lt.inv(0)
+
+    @given(a=st.integers(min_value=0, max_value=P16 - 1),
+           e=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=50)
+    def test_pow(self, a, e):
+        lt = LogTableField(P16)
+        assert lt.pow(a, e) == pow(a, e, P16)
+
+    def test_pow_zero_base(self, lt):
+        assert lt.pow(0, 0) == 1
+        assert lt.pow(0, 5) == 0
+        with pytest.raises(ArithmeticDomainError):
+            lt.pow(0, -1)
+
+    def test_add_sub(self, lt):
+        assert lt.add(P16 - 1, 1) == 0
+        assert lt.sub(0, 1) == P16 - 1
+
+    def test_batch_mul_matches_scalar(self, lt):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, P16, size=200, dtype=np.uint32)
+        b = rng.integers(0, P16, size=200, dtype=np.uint32)
+        out = lt.batch_mul(a, b)
+        for x, y, z in zip(a.tolist(), b.tolist(), out.tolist()):
+            assert z == x * y % P16
+
+    def test_batch_mul_zeros(self, lt):
+        a = np.array([0, 5, 0], dtype=np.uint32)
+        b = np.array([7, 0, 0], dtype=np.uint32)
+        assert lt.batch_mul(a, b).tolist() == [0, 0, 0]

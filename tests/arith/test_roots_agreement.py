@@ -1,0 +1,61 @@
+"""Cross-strategy agreement: candidate evaluation vs full factorization.
+
+For any polynomial built from roots, evaluating candidates and factoring
+must agree about exactly which candidates are roots -- including aliased
+candidates, non-root decoys, and repeated roots.
+"""
+
+import random
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.field import PrimeField
+from repro.arith.polynomial import Poly
+from repro.arith.roots import find_all_roots, roots_among_candidates
+
+P = 4_294_967_291
+F = PrimeField(P)
+
+
+@given(roots=st.lists(st.integers(min_value=0, max_value=P - 1),
+                      min_size=1, max_size=10),
+       decoys=st.lists(st.integers(min_value=0, max_value=P - 1),
+                       max_size=10),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=60, deadline=None)
+def test_strategies_agree(roots, decoys, seed):
+    poly = Poly.from_roots(F, roots)
+    rng = random.Random(seed)
+    candidates = list(roots) + [d for d in decoys if d not in set(roots)]
+    rng.shuffle(candidates)
+
+    mask = roots_among_candidates(poly, np.array(candidates, dtype=np.uint64))
+    by_eval = {c for c, is_root in zip(candidates, mask) if is_root}
+
+    by_factor = find_all_roots(poly, random.Random(seed))
+    assert by_eval == set(by_factor)
+    assert by_factor == Counter(roots)
+
+
+@given(coeffs=st.lists(st.integers(min_value=0, max_value=P - 1),
+                       min_size=2, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_agreement_on_arbitrary_polynomials(coeffs):
+    """Even for polynomials that need not split: every factored root must
+    evaluate to zero, and sampled non-roots must not be reported."""
+    poly = Poly(F, coeffs)
+    if poly.degree < 1:
+        return
+    factored = find_all_roots(poly)
+    for root in factored:
+        assert poly(root) == 0
+    rng = random.Random(7)
+    sample = [rng.randrange(P) for _ in range(20)]
+    mask = roots_among_candidates(poly, np.array(sample, dtype=np.uint64))
+    for value, is_root in zip(sample, mask):
+        assert bool(is_root) == (poly(value) == 0)
+        if is_root:
+            assert value in factored

@@ -1,0 +1,56 @@
+"""Tests for report generation (repro.bench.report)."""
+
+import pytest
+
+from repro.bench.report import (
+    ReportOptions,
+    environment_section,
+    full_report,
+    sizing_section,
+    table2_section,
+    table3_section,
+)
+
+
+class TestSections:
+    def test_environment_mentions_python(self):
+        assert "Python" in environment_section()
+
+    def test_table3_contains_paper_row(self):
+        section = table3_section()
+        assert "| 8 | 0.98 |" in section
+        assert "2.3e-07" in section
+
+    def test_table2_structure(self):
+        section = table2_section(trials=2)
+        assert "Power Sums" in section
+        assert "656 / 656" in section
+        assert "272 / 272" in section
+        assert "days" in section  # the extrapolated hash decode
+
+    def test_sizing_section(self):
+        section = sizing_section()
+        assert "1000 packets per RTT" in section
+        assert "82 B" in section
+
+
+class TestFullReport:
+    def test_quick_report_assembles(self):
+        progress_log = []
+        options = ReportOptions(trials=2, protocol_bytes=120_000,
+                                headroom_trials=2)
+        text = full_report(options, progress=progress_log.append)
+        assert text.startswith("# Sidecar / quACK reproduction report")
+        assert "## Table 2" in text
+        assert "## Table 3" in text
+        assert "CC division (E7)" in text
+        assert "Threshold headroom" in text
+        assert len(progress_log) == 3
+
+    def test_sections_can_be_disabled(self):
+        options = ReportOptions(trials=2, include_protocols=False,
+                                include_headroom=False)
+        text = full_report(options)
+        assert "CC division (E7)" not in text
+        assert "Threshold headroom" not in text
+        assert "## Table 2" in text

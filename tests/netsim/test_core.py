@@ -1,0 +1,149 @@
+"""Tests for the discrete-event simulator core (repro.netsim.core)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.core import Simulator
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.3, fired.append, "c")
+        sim.schedule(0.1, fired.append, "a")
+        sim.schedule(0.2, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abcde":
+            sim.schedule(1.0, fired.append, name)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(sim.now)
+            if depth:
+                sim.schedule(1.0, chain, depth - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent_and_safe_after_firing(self):
+        sim = Simulator()
+        handle = sim.schedule(0.1, lambda: None)
+        sim.run()
+        handle.cancel()
+        handle.cancel()
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, fired.append, "keep1")
+        handle = sim.schedule(0.2, fired.append, "drop")
+        sim.schedule(0.3, fired.append, "keep2")
+        handle.cancel()
+        sim.run()
+        assert fired == ["keep1", "keep2"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        executed = sim.run(until=2.0)
+        assert fired == ["early"]
+        assert executed == 1
+        assert sim.now == 2.0  # clock advanced to the horizon
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_exact_event_time_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "x")
+        sim.run(until=2.0)
+        assert fired == ["x"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        executed = sim.run(max_events=50)
+        assert executed == 50
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(0.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        handle = sim.schedule(3.0, lambda: None)
+        assert sim.peek_next_time() == 3.0
+        handle.cancel()
+        assert sim.peek_next_time() is None
+
+    def test_pending_events(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(4)]
+        assert sim.pending_events == 4
+        handles[0].cancel()
+        assert sim.pending_events == 3
+
+    def test_handle_time_property(self):
+        sim = Simulator()
+        handle = sim.schedule(4.5, lambda: None)
+        assert handle.time == 4.5

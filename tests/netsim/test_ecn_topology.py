@@ -1,0 +1,37 @@
+"""ECN threshold plumbing through HopSpec/build_path."""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.topology import HopSpec, build_path
+
+
+class TestHopSpecEcn:
+    def test_both_directions_get_the_threshold(self):
+        sim = Simulator()
+        a, b = Host(sim, "a"), Host(sim, "b")
+        topo = build_path(sim, [a, b], [HopSpec(ecn_threshold=4)])
+        assert topo.links_up[0].ecn_threshold == 4
+        assert topo.links_down[0].ecn_threshold == 4
+
+    def test_default_is_disabled(self):
+        sim = Simulator()
+        a, b = Host(sim, "a"), Host(sim, "b")
+        topo = build_path(sim, [a, b], [HopSpec()])
+        assert topo.links_up[0].ecn_threshold is None
+
+    def test_burst_marks_through_topology(self):
+        sim = Simulator()
+        a, b = Host(sim, "a"), Host(sim, "b")
+        topo = build_path(sim, [a, b],
+                          [HopSpec(bandwidth_bps=1e6, delay_s=0.001,
+                                   ecn_threshold=2)])
+        marked = []
+        b.add_handler(PacketKind.DATA, lambda p: marked.append(p.ecn_ce))
+        for _ in range(6):
+            a.send(Packet(src="a", dst="b", size_bytes=1000))
+        sim.run()
+        assert marked == [False, False, True, True, True, True]
+        assert topo.links_up[0].stats.ce_marked == 4

@@ -1,0 +1,95 @@
+"""Tests for loss models (repro.netsim.loss)."""
+
+import random
+
+import pytest
+
+from repro.netsim.loss import (
+    BernoulliLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    NoLoss,
+)
+from repro.netsim.packet import Packet
+
+
+def packet():
+    return Packet(src="a", dst="b", size_bytes=100)
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        assert not any(model.should_drop(packet()) for _ in range(100))
+
+
+class TestBernoulli:
+    def test_rate_zero_never_drops(self):
+        model = BernoulliLoss(0.0)
+        assert not any(model.should_drop(packet()) for _ in range(200))
+
+    def test_empirical_rate(self):
+        model = BernoulliLoss(0.3, random.Random(1))
+        drops = sum(model.should_drop(packet()) for _ in range(5000))
+        assert drops / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.0)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = BernoulliLoss(0.5, random.Random(9))
+        b = BernoulliLoss(0.5, random.Random(9))
+        seq_a = [a.should_drop(packet()) for _ in range(50)]
+        seq_b = [b.should_drop(packet()) for _ in range(50)]
+        assert seq_a == seq_b
+
+
+class TestGilbertElliott:
+    def test_steady_state_loss_rate_formula(self):
+        model = GilbertElliottLoss(0.01, 0.1, loss_good=0.0, loss_bad=0.5)
+        pi_bad = 0.01 / 0.11
+        assert model.steady_state_loss_rate() == pytest.approx(pi_bad * 0.5)
+
+    def test_empirical_rate_approaches_steady_state(self):
+        model = GilbertElliottLoss(0.02, 0.2, loss_good=0.0, loss_bad=0.5,
+                                   rng=random.Random(3))
+        n = 40_000
+        drops = sum(model.should_drop(packet()) for _ in range(n))
+        assert drops / n == pytest.approx(model.steady_state_loss_rate(),
+                                          abs=0.01)
+
+    def test_burstiness(self):
+        """Losses should cluster more than Bernoulli at equal rates."""
+        ge = GilbertElliottLoss(0.01, 0.3, loss_good=0.0, loss_bad=0.8,
+                                rng=random.Random(5))
+        seq = [ge.should_drop(packet()) for _ in range(20_000)]
+        rate = sum(seq) / len(seq)
+        # Count adjacent loss pairs; for Bernoulli this would be ~rate**2.
+        pairs = sum(1 for a, b in zip(seq, seq[1:]) if a and b)
+        pair_rate = pairs / (len(seq) - 1)
+        assert pair_rate > 3 * rate ** 2
+
+    def test_zero_transitions_stay_in_state(self):
+        model = GilbertElliottLoss(0.0, 0.0, loss_good=0.0, loss_bad=1.0)
+        assert model.steady_state_loss_rate() == 0.0
+        assert not any(model.should_drop(packet()) for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(1.5, 0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.1, 0.1, loss_bad=-0.2)
+
+
+class TestDeterministic:
+    def test_drops_exact_ordinals(self):
+        model = DeterministicLoss({0, 2, 5})
+        results = [model.should_drop(packet()) for _ in range(7)]
+        assert results == [True, False, True, False, False, True, False]
+
+    def test_empty_set(self):
+        model = DeterministicLoss(set())
+        assert not any(model.should_drop(packet()) for _ in range(10))

@@ -1,0 +1,79 @@
+"""Tests for measurement helpers (repro.netsim.trace)."""
+
+import pytest
+
+from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.trace import EventTrace, FlowMonitor, PacketCounter
+
+
+class TestFlowMonitor:
+    def test_goodput_average(self):
+        m = FlowMonitor()
+        m.record_delivery(1000, 1.0)
+        m.record_delivery(1000, 2.0)
+        assert m.total_bytes == 2000
+        assert m.goodput_bps() == pytest.approx(2000 * 8 / 2.0)
+
+    def test_goodput_with_horizon(self):
+        m = FlowMonitor()
+        m.record_delivery(1000, 1.0)
+        m.record_delivery(9000, 10.0)
+        assert m.goodput_bps(until=5.0) == pytest.approx(1000 * 8 / 5.0)
+
+    def test_bytes_delivered_by(self):
+        m = FlowMonitor()
+        m.record_delivery(500, 1.0)
+        m.record_delivery(500, 3.0)
+        assert m.bytes_delivered_by(0.5) == 0
+        assert m.bytes_delivered_by(1.0) == 500
+        assert m.bytes_delivered_by(2.0) == 500
+        assert m.bytes_delivered_by(10.0) == 1000
+
+    def test_empty_monitor(self):
+        m = FlowMonitor()
+        assert m.goodput_bps() == 0.0
+        assert m.duration == 0.0
+        assert m.first_delivery is None
+
+    def test_first_last_completion(self):
+        m = FlowMonitor()
+        m.record_delivery(1, 0.5)
+        m.record_delivery(1, 2.5)
+        m.record_completion(2.6)
+        assert m.first_delivery == 0.5
+        assert m.last_delivery == 2.5
+        assert m.completed_at == 2.6
+
+
+class TestPacketCounter:
+    def test_counts_by_kind(self):
+        counter = PacketCounter()
+        counter(Packet(src="a", dst="b", size_bytes=100))
+        counter(Packet(src="a", dst="b", size_bytes=50,
+                       kind=PacketKind.ACK))
+        counter(Packet(src="a", dst="b", size_bytes=80,
+                       kind=PacketKind.QUACK))
+        assert counter.packets[PacketKind.DATA] == 1
+        assert counter.packets[PacketKind.ACK] == 1
+        assert counter.bytes[PacketKind.QUACK] == 80
+        assert counter.total_packets == 3
+        assert counter.total_bytes == 230
+
+
+class TestEventTrace:
+    def test_record_and_filter(self):
+        trace = EventTrace()
+        p = Packet(src="a", dst="b", size_bytes=10)
+        trace.record(1.0, "r1", "forward", p)
+        trace.record(2.0, "r2", "drop", p)
+        assert len(trace) == 2
+        assert [e.where for e in trace.filtered(what="drop")] == ["r2"]
+        assert [e.time for e in trace.filtered(where="r1")] == [1.0]
+
+    def test_capacity(self):
+        trace = EventTrace(capacity=2)
+        p = Packet(src="a", dst="b", size_bytes=10)
+        for i in range(5):
+            trace.record(float(i), "x", "e", p)
+        assert len(trace) == 2
+        assert trace.dropped_events == 3

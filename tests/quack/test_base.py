@@ -1,0 +1,56 @@
+"""Tests for the shared quACK types (repro.quack.base)."""
+
+import pytest
+
+from repro.quack.base import DecodeResult, DecodeStatus, Quack, QuackScheme
+
+
+class TestDecodeResult:
+    def test_defaults_are_ok_and_empty(self):
+        result = DecodeResult()
+        assert result.ok
+        assert result.is_determinate
+        assert result.missing == ()
+        assert result.num_missing == 0
+
+    def test_failure_statuses_not_ok(self):
+        for status in (DecodeStatus.THRESHOLD_EXCEEDED,
+                       DecodeStatus.INCONSISTENT):
+            assert not DecodeResult(status=status).ok
+
+    def test_indeterminate_flag(self):
+        result = DecodeResult(indeterminate=(((1, 2), 1),), num_missing=1)
+        assert not result.is_determinate
+        assert result.ok
+
+    def test_frozen(self):
+        result = DecodeResult()
+        with pytest.raises(AttributeError):
+            result.num_missing = 5  # type: ignore[misc]
+
+
+class TestQuackInterface:
+    def test_default_insert_many_loops(self):
+        inserted = []
+
+        class Minimal(Quack):
+            def insert(self, identifier):
+                inserted.append(identifier)
+
+            @property
+            def count(self):
+                return len(inserted)
+
+            def wire_size_bits(self):
+                return 0
+
+            def decode(self, sent_log):
+                return DecodeResult()
+
+        quack = Minimal()
+        quack.insert_many([3, 1, 4, 1])
+        assert inserted == [3, 1, 4, 1]
+        assert quack.count == 4
+
+    def test_scheme_values_distinct(self):
+        assert len({s.value for s in QuackScheme}) == 3

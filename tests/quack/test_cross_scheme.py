@@ -1,0 +1,92 @@
+"""Cross-scheme property tests: all three quACKs must tell the same story.
+
+The echo quACK is trivially correct (it ships the whole multiset), so it
+serves as the ground-truth oracle for the power-sum construction across
+randomized workloads, including nasty ones (duplicates, aliased
+identifiers, tiny fields with real collisions).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quack.base import DecodeStatus
+from repro.quack.power_sum import PowerSumQuack
+from repro.quack.strawman import EchoQuack, HashQuack
+
+
+@given(seed=st.integers(min_value=0, max_value=10 ** 9),
+       n=st.integers(min_value=0, max_value=80),
+       loss_percent=st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_power_sum_matches_echo_oracle(seed, n, loss_percent):
+    rng = random.Random(seed)
+    sent = [rng.getrandbits(32) for _ in range(n)]
+    received = [v for v in sent if rng.randrange(100) >= loss_percent]
+    num_missing = n - len(received)
+
+    echo = EchoQuack()
+    echo.insert_many(received)
+    truth = echo.decode(sent)
+
+    threshold = max(1, num_missing)
+    power = PowerSumQuack(threshold=threshold)
+    power.insert_many(received)
+    result = power.decode(sent)
+
+    assert result.ok
+    assert result.missing == truth.missing
+    assert result.num_missing == len(truth.missing)
+
+
+@given(seed=st.integers(min_value=0, max_value=10 ** 9))
+@settings(max_examples=20, deadline=None)
+def test_power_sum_matches_hash_oracle_small(seed):
+    rng = random.Random(seed)
+    sent = [rng.getrandbits(32) for _ in range(12)]
+    missing_idx = set(rng.sample(range(12), 2))
+    received = [v for i, v in enumerate(sent) if i not in missing_idx]
+
+    hash_quack = HashQuack(max_subsets=10_000)
+    hash_quack.insert_many(received)
+    truth = hash_quack.decode(sent)
+
+    power = PowerSumQuack(threshold=4)
+    power.insert_many(received)
+    result = power.decode(sent)
+
+    assert result.ok and truth.ok
+    assert result.missing == truth.missing
+
+
+@given(seed=st.integers(min_value=0, max_value=10 ** 9),
+       n=st.integers(min_value=1, max_value=60))
+@settings(max_examples=40, deadline=None)
+def test_tiny_field_collisions_never_lie(seed, n):
+    """With 8-bit identifiers collisions are routine; the decoder must
+    report them as indeterminate rather than miscounting."""
+    rng = random.Random(seed)
+    sent = [rng.getrandbits(8) for _ in range(n)]
+    num_missing = rng.randrange(min(n, 6) + 1)
+    missing_idx = set(rng.sample(range(n), num_missing))
+    received = [v for i, v in enumerate(sent) if i not in missing_idx]
+
+    power = PowerSumQuack(threshold=max(1, num_missing), bits=8)
+    power.insert_many(received)
+    result = power.decode(sent)
+
+    if result.status is DecodeStatus.INCONSISTENT:
+        # 8-bit identifiers can alias mod 251 in ways that make the
+        # polynomial unsolvable over the log; that is a *reported* failure,
+        # never a wrong answer.
+        return
+    assert result.ok
+    determinate = len(result.missing)
+    ambiguous = sum(count for _, count in result.indeterminate)
+    assert determinate + ambiguous == num_missing
+    # Every determinate missing identifier really was sent.
+    sent_multiset = sorted(sent)
+    for identifier in result.missing:
+        assert identifier in sent_multiset

@@ -1,0 +1,188 @@
+"""Stateful property tests: quACK state machines vs simple models.
+
+Hypothesis drives arbitrary interleavings of operations against a
+reference model (plain Python multisets), checking after every step that
+the production structures agree -- the strongest guard against subtle
+state bugs in the cumulative accumulators.
+"""
+
+import random
+from collections import Counter
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.quack.power_sum import PowerSumQuack
+from repro.transport.ranges import RangeSet
+
+identifiers = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+
+class PowerSumMachine(RuleBasedStateMachine):
+    """Insert/remove/copy/subtract against a Counter model."""
+
+    def __init__(self):
+        super().__init__()
+        self.quack = PowerSumQuack(threshold=6, count_bits=16)
+        self.model: Counter = Counter()
+        self.removed_extra = 0
+
+    @rule(identifier=identifiers)
+    def insert(self, identifier):
+        self.quack.insert(identifier)
+        self.model[identifier] += 1
+
+    @rule(identifier=identifiers)
+    def insert_via_bulk(self, identifier):
+        self.quack.insert_many([identifier, identifier])
+        self.model[identifier] += 2
+
+    @rule(data=st.data())
+    def remove_present(self, data):
+        present = [k for k, v in self.model.items() if v > 0]
+        if not present:
+            return
+        identifier = data.draw(st.sampled_from(present))
+        self.quack.remove(identifier)
+        self.model[identifier] -= 1
+
+    @invariant()
+    def count_matches_model(self):
+        assert self.quack.count == sum(self.model.values()) % (1 << 16)
+
+    @invariant()
+    def power_sums_match_reference(self):
+        reference = PowerSumQuack(threshold=6, count_bits=16)
+        reference.insert_many(list(self.model.elements()))
+        assert self.quack.power_sums == reference.power_sums
+
+    @invariant()
+    def self_difference_is_empty(self):
+        delta = self.quack - self.quack
+        assert delta.count == 0
+        assert all(s == 0 for s in delta.power_sums)
+
+
+class QuackSessionMachine(RuleBasedStateMachine):
+    """A sender/receiver pair under arbitrary send/deliver/decode steps.
+
+    Random packets are sent (into the sender quack + log) and a random
+    subset delivered (into the receiver quack).  At any point, decoding
+    sender-minus-receiver must recover exactly the undelivered multiset,
+    whenever it fits the threshold.
+    """
+
+    THRESHOLD = 5
+
+    def __init__(self):
+        super().__init__()
+        self.rng = random.Random(1234)
+        self.sender = PowerSumQuack(self.THRESHOLD)
+        self.receiver = PowerSumQuack(self.THRESHOLD)
+        self.log: list[int] = []
+        self.undelivered: list[int] = []
+
+    @rule()
+    def send_one(self):
+        identifier = self.rng.getrandbits(32)
+        self.sender.insert(identifier)
+        self.log.append(identifier)
+        self.undelivered.append(identifier)
+
+    @rule()
+    def deliver_one(self):
+        if not self.undelivered:
+            return
+        index = self.rng.randrange(len(self.undelivered))
+        identifier = self.undelivered.pop(index)
+        self.receiver.insert(identifier)
+
+    @rule()
+    def retire_decoded_loss(self):
+        """Model Section 3.3's threshold reset: give up on one
+        undelivered packet, removing it everywhere."""
+        if not self.undelivered:
+            return
+        index = self.rng.randrange(len(self.undelivered))
+        identifier = self.undelivered.pop(index)
+        self.sender.remove(identifier)
+        self.log.remove(identifier)
+
+    @invariant()
+    def decode_recovers_undelivered(self):
+        from repro.quack.decoder import decode_delta
+
+        delta = self.sender - self.receiver
+        assert delta.count == len(self.undelivered)
+        if len(self.undelivered) > self.THRESHOLD:
+            result = decode_delta(delta, self.log)
+            assert not result.ok
+            return
+        result = decode_delta(delta, self.log)
+        assert result.ok
+        recovered = list(result.missing)
+        for group, count in result.indeterminate:
+            # Collisions: count unknowns; with 32-bit ids this is rare.
+            recovered.extend([None] * count)
+        assert len(recovered) == len(self.undelivered)
+        if result.is_determinate:
+            assert sorted(result.missing) == sorted(self.undelivered)
+
+
+class RangeSetMachine(RuleBasedStateMachine):
+    """RangeSet vs a plain set of integers."""
+
+    def __init__(self):
+        super().__init__()
+        self.ranges = RangeSet()
+        self.model: set[int] = set()
+
+    @rule(lo=st.integers(min_value=0, max_value=300),
+          width=st.integers(min_value=0, max_value=20))
+    def add_range(self, lo, width):
+        self.ranges.add_range(lo, lo + width)
+        self.model.update(range(lo, lo + width + 1))
+
+    @rule(value=st.integers(min_value=0, max_value=300))
+    def add_value(self, value):
+        self.ranges.add(value)
+        self.model.add(value)
+
+    @invariant()
+    def cardinality_matches(self):
+        assert len(self.ranges) == len(self.model)
+
+    @invariant()
+    def ranges_normalized(self):
+        flat = self.ranges.ranges
+        for (lo1, hi1), (lo2, hi2) in zip(flat, flat[1:]):
+            assert hi1 + 1 < lo2  # sorted, disjoint, non-adjacent
+        for lo, hi in flat:
+            assert lo <= hi
+
+    @invariant()
+    def membership_sample_agrees(self):
+        for probe in range(0, 330, 13):
+            assert (probe in self.ranges) == (probe in self.model)
+
+
+TestPowerSumMachine = PowerSumMachine.TestCase
+TestPowerSumMachine.settings = settings(max_examples=25,
+                                        stateful_step_count=30,
+                                        deadline=None)
+
+TestQuackSessionMachine = QuackSessionMachine.TestCase
+TestQuackSessionMachine.settings = settings(max_examples=20,
+                                            stateful_step_count=25,
+                                            deadline=None)
+
+TestRangeSetMachine = RangeSetMachine.TestCase
+TestRangeSetMachine.settings = settings(max_examples=30,
+                                        stateful_step_count=40,
+                                        deadline=None)

@@ -1,0 +1,169 @@
+"""Tests for the strawman quACKs (repro.quack.strawman)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError, InconsistentQuackError
+from repro.quack.base import DecodeStatus
+from repro.quack.strawman import EchoQuack, HashQuack, _digest_sorted
+
+ids32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+
+class TestEchoQuack:
+    def test_decode_is_exact_multiset_difference(self):
+        q = EchoQuack()
+        q.insert_many([5, 5, 9])
+        result = q.decode([5, 5, 5, 9, 12])
+        assert result.ok
+        assert list(result.missing) == [5, 12]
+
+    def test_count_and_size(self):
+        q = EchoQuack(bits=32)
+        q.insert_many(range(10))
+        assert q.count == 10
+        assert q.wire_size_bits() == 320
+
+    def test_size_grows_with_every_packet(self):
+        # The "extraordinary bandwidth" property: size is linear in n.
+        q = EchoQuack(bits=16)
+        sizes = []
+        for i in range(5):
+            q.insert(i)
+            sizes.append(q.wire_size_bits())
+        assert sizes == [16, 32, 48, 64, 80]
+
+    def test_received_more_than_sent_is_inconsistent(self):
+        q = EchoQuack()
+        q.insert_many([1, 1])
+        result = q.decode([1])
+        assert result.status is DecodeStatus.INCONSISTENT
+
+    def test_received_copy_is_snapshot(self):
+        q = EchoQuack()
+        q.insert(3)
+        snapshot = q.received
+        q.insert(4)
+        assert sum(snapshot.values()) == 1
+
+    @given(sent=st.lists(ids32, min_size=0, max_size=50),
+           drop=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50)
+    def test_random_multisets(self, sent, drop):
+        drop = min(drop, len(sent))
+        rng = random.Random(42)
+        missing_idx = set(rng.sample(range(len(sent)), drop))
+        q = EchoQuack()
+        q.insert_many(v for i, v in enumerate(sent) if i not in missing_idx)
+        result = q.decode(sent)
+        assert result.ok
+        assert sorted(result.missing) == sorted(sent[i] for i in missing_idx)
+
+
+class TestHashQuack:
+    def test_wire_size_is_constant(self):
+        # Table 2: 256 + c = 272 bits regardless of n.
+        q = HashQuack(count_bits=16)
+        assert q.wire_size_bits() == 272
+        q.insert_many(range(100))
+        assert q.wire_size_bits() == 272
+
+    def test_digest_order_independent(self):
+        a = HashQuack()
+        b = HashQuack()
+        for v in [5, 1, 9]:
+            a.insert(v)
+        for v in [9, 5, 1]:
+            b.insert(v)
+        assert a.digest() == b.digest()
+
+    def test_decode_small_instance(self):
+        sent = [10, 20, 30, 40, 50]
+        q = HashQuack()
+        q.insert_many([10, 30, 50])
+        result = q.decode(sent)
+        assert result.ok
+        assert sorted(result.missing) == [20, 40]
+
+    def test_decode_nothing_missing(self):
+        sent = [1, 2, 3]
+        q = HashQuack()
+        q.insert_many(sent)
+        result = q.decode(sent)
+        assert result.ok and result.missing == ()
+
+    def test_decode_refuses_infeasible_search(self):
+        q = HashQuack(max_subsets=100)
+        q.insert_many(range(10))
+        with pytest.raises(DecodeError, match="infeasible"):
+            q.decode(list(range(30)))  # C(30, 20) >> 100
+
+    def test_decode_wrong_universe(self):
+        q = HashQuack()
+        q.insert_many([111, 222])
+        with pytest.raises(InconsistentQuackError):
+            q.decode([1, 2, 3])  # no subset matches
+
+    def test_more_received_than_sent(self):
+        q = HashQuack()
+        q.insert_many([1, 2, 3])
+        assert q.decode([1]).status is DecodeStatus.INCONSISTENT
+
+    def test_mismatched_full_set(self):
+        q = HashQuack()
+        q.insert_many([1, 2, 3])
+        assert q.decode([1, 2, 4]).status is DecodeStatus.INCONSISTENT
+
+    def test_duplicates(self):
+        sent = [7, 7, 8]
+        q = HashQuack()
+        q.insert_many([7, 8])
+        result = q.decode(sent)
+        assert result.ok and list(result.missing) == [7]
+
+
+class TestHashQuackFrozen:
+    def test_from_digest_roundtrip(self):
+        original = HashQuack()
+        original.insert_many([4, 5, 6])
+        frozen = HashQuack.from_digest(original.digest(), original.count)
+        assert frozen.digest() == original.digest()
+        assert frozen.count == 3
+        result = frozen.decode([3, 4, 5, 6])
+        assert result.ok and list(result.missing) == [3]
+
+    def test_frozen_rejects_insert(self):
+        frozen = HashQuack.from_digest(b"\0" * 32, 1)
+        with pytest.raises(DecodeError):
+            frozen.insert(1)
+        with pytest.raises(DecodeError):
+            frozen.insert_many([1, 2])
+
+
+class TestCostModel:
+    def test_subsets_to_search(self):
+        assert HashQuack.subsets_to_search(1000, 20) == math.comb(1000, 20)
+        assert HashQuack.subsets_to_search(5, 0) == 1
+
+    def test_estimate_decode_seconds(self):
+        # At 1e6 digests/s the n=1000, t=20 search is astronomically long
+        # (the paper's "infeasible" claim).
+        seconds = HashQuack.estimate_decode_seconds(1000, 20, 1e6)
+        assert seconds / 86_400 > 1e9  # over a billion days
+
+    def test_estimate_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            HashQuack.estimate_decode_seconds(10, 2, 0)
+
+
+class TestDigestHelper:
+    def test_width_respected(self):
+        assert _digest_sorted([1], 32) != _digest_sorted([1], 16)
+
+    def test_empty(self):
+        import hashlib
+        assert _digest_sorted([], 32) == hashlib.sha256().digest()

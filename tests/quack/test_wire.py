@@ -1,0 +1,139 @@
+"""Tests for the quACK wire format (repro.quack.wire)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.quack import wire
+from repro.quack.power_sum import PowerSumQuack
+from repro.quack.strawman import EchoQuack, HashQuack
+
+ids32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+
+class TestPowerSumRoundTrip:
+    @pytest.mark.parametrize("bits", [16, 24, 32, 64])
+    def test_roundtrip_across_widths(self, bits):
+        q = PowerSumQuack(threshold=5, bits=bits)
+        q.insert_many([3, 2 ** (bits - 1), 17])
+        decoded = wire.decode(wire.encode(q))
+        assert decoded == q
+
+    @given(values=st.lists(ids32, min_size=0, max_size=30),
+           threshold=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=50)
+    def test_roundtrip_random(self, values, threshold):
+        q = PowerSumQuack(threshold=threshold)
+        q.insert_many(values)
+        assert wire.decode(wire.encode(q)) == q
+
+    def test_frame_overhead_is_small(self):
+        q = PowerSumQuack(threshold=20, bits=32, count_bits=16)
+        frame = wire.encode(q)
+        payload_bytes = q.wire_size_bits() // 8  # 82 (Table 2)
+        assert payload_bytes == 82
+        assert len(frame) - payload_bytes <= 16
+
+    def test_count_omitted(self):
+        """Section 4.3 (ACK reduction): 'we can omit c, which is always n'."""
+        q = PowerSumQuack(threshold=4)
+        q.insert_many([9, 9, 11])
+        frame = wire.encode(q, include_count=False)
+        full_frame = wire.encode(q, include_count=True)
+        assert len(frame) == len(full_frame) - 2  # 16-bit count dropped
+        restored = wire.decode(frame, implicit_count=3)
+        assert restored == q
+
+    def test_count_omitted_requires_context(self):
+        q = PowerSumQuack(threshold=4)
+        frame = wire.encode(q, include_count=False)
+        with pytest.raises(WireFormatError):
+            wire.decode(frame)
+
+    def test_implicit_count_wraps_to_count_bits(self):
+        q = PowerSumQuack(threshold=4, count_bits=8)
+        for i in range(300):
+            q.insert(i + 1)
+        frame = wire.encode(q, include_count=False)
+        restored = wire.decode(frame, implicit_count=300)
+        assert restored.count == 300 % 256 == q.count
+
+
+class TestEchoRoundTrip:
+    def test_roundtrip(self):
+        q = EchoQuack(bits=16)
+        q.insert_many([1, 1, 500])
+        decoded = wire.decode(wire.encode(q))
+        assert isinstance(decoded, EchoQuack)
+        assert decoded.received == q.received
+        assert decoded.bits == 16
+
+    def test_empty(self):
+        decoded = wire.decode(wire.encode(EchoQuack()))
+        assert decoded.count == 0
+
+
+class TestHashRoundTrip:
+    def test_roundtrip_decodes(self):
+        q = HashQuack()
+        q.insert_many([10, 30])
+        restored = wire.decode(wire.encode(q))
+        assert isinstance(restored, HashQuack)
+        assert restored.digest() == q.digest()
+        assert restored.count == 2
+        result = restored.decode([10, 20, 30])
+        assert result.ok and list(result.missing) == [20]
+
+
+class TestMalformedFrames:
+    def test_short_frame(self):
+        with pytest.raises(WireFormatError):
+            wire.decode(b"qK")
+
+    def test_bad_magic(self):
+        frame = bytearray(wire.encode(PowerSumQuack(2)))
+        frame[0] = ord("X")
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.decode(bytes(frame))
+
+    def test_bad_version(self):
+        frame = bytearray(wire.encode(PowerSumQuack(2)))
+        frame[2] = 99
+        with pytest.raises(WireFormatError, match="version"):
+            wire.decode(bytes(frame))
+
+    def test_unknown_scheme(self):
+        frame = bytearray(wire.encode(PowerSumQuack(2)))
+        frame[3] = 77
+        with pytest.raises(WireFormatError, match="scheme"):
+            wire.decode(bytes(frame))
+
+    def test_truncated_power_sums(self):
+        frame = wire.encode(PowerSumQuack(4))
+        with pytest.raises(WireFormatError):
+            wire.decode(frame[:-3])
+
+    def test_trailing_garbage(self):
+        frame = wire.encode(PowerSumQuack(4))
+        with pytest.raises(WireFormatError):
+            wire.decode(frame + b"\x00")
+
+    def test_non_residue_power_sum(self):
+        q = PowerSumQuack(threshold=1, bits=32)
+        frame = bytearray(wire.encode(q))
+        frame[-4:] = b"\xff\xff\xff\xff"  # 2**32 - 1 >= p
+        with pytest.raises(WireFormatError, match="residue"):
+            wire.decode(bytes(frame))
+
+    def test_truncated_echo(self):
+        frame = wire.encode(EchoQuack())
+        with pytest.raises(WireFormatError):
+            wire.decode(frame[:-1] if len(frame) > 5 else frame + b"x")
+
+    def test_unserializable_type(self):
+        class FakeQuack:
+            pass
+
+        with pytest.raises(WireFormatError):
+            wire.encode(FakeQuack())  # type: ignore[arg-type]

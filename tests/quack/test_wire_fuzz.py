@@ -1,0 +1,61 @@
+"""Fuzzing the wire format: hostile bytes must fail cleanly.
+
+The deserializer faces network input; whatever arrives, it must either
+return a valid quACK or raise WireFormatError -- never any other
+exception, never a half-parsed object.
+"""
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.quack import wire
+from repro.quack.base import Quack
+from repro.quack.power_sum import PowerSumQuack
+
+
+@given(blob=st.binary(min_size=0, max_size=300))
+@settings(max_examples=200)
+@example(blob=b"")
+@example(blob=b"qK")
+@example(blob=b"qK\x01\x01\x01")
+@example(blob=b"qK\x01\x02\x01\x20\x00\x00\x00\x00")
+def test_arbitrary_bytes_never_crash(blob):
+    try:
+        decoded = wire.decode(blob)
+    except WireFormatError:
+        return
+    assert isinstance(decoded, Quack)
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=2 ** 32 - 1),
+                       max_size=20),
+       flip_position=st.integers(min_value=0, max_value=10_000),
+       flip_mask=st.integers(min_value=1, max_value=255))
+@settings(max_examples=150)
+def test_single_byte_corruption_fails_cleanly_or_stays_valid(
+        values, flip_position, flip_mask):
+    quack = PowerSumQuack(threshold=4)
+    quack.insert_many(values)
+    frame = bytearray(wire.encode(quack))
+    frame[flip_position % len(frame)] ^= flip_mask
+    try:
+        decoded = wire.decode(bytes(frame))
+    except WireFormatError:
+        return
+    # A flip that survives parsing must still produce a structurally
+    # valid quACK (reduced sums, sane threshold).
+    assert isinstance(decoded, Quack)
+    if isinstance(decoded, PowerSumQuack):
+        assert all(0 <= s < decoded.field.modulus
+                   for s in decoded.power_sums)
+
+
+@given(blob=st.binary(min_size=5, max_size=100))
+@settings(max_examples=100)
+def test_frames_with_valid_magic_still_safe(blob):
+    frame = b"qK\x01" + blob
+    try:
+        wire.decode(frame)
+    except WireFormatError:
+        pass

@@ -1,0 +1,47 @@
+"""Per-segment controller choice in CC division (paper §2.1).
+
+"splitting an end-to-end connection into multiple segments enables the
+PEP to better adjust its sending rate or implement a different kind of
+congestion control on each segment entirely" -- here we actually swap
+the proxy's segment controller and watch the ladder: e2e AIMD < divided
+AIMD < divided BBR (model-based control shrugs off the access-link
+noise completely).
+"""
+
+import pytest
+
+from repro.sidecar.cc_division import run_cc_division
+from repro.transport.cc.bbr import BbrLite
+
+TOTAL = 500_000
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    base = run_cc_division(sidecar=False, total_bytes=TOTAL, seed=3)
+    aimd = run_cc_division(sidecar=True, total_bytes=TOTAL, seed=3)
+    bbr = run_cc_division(sidecar=True, total_bytes=TOTAL, seed=3,
+                          proxy_controller_factory=BbrLite)
+    return base, aimd, bbr
+
+
+def test_all_complete(ladder):
+    assert all(r.completed for r in ladder)
+
+
+def test_division_beats_end_to_end(ladder):
+    base, aimd, _ = ladder
+    assert aimd.completion_time < base.completion_time
+
+
+def test_model_based_segment_controller_beats_aimd(ladder):
+    _, aimd, bbr = ladder
+    assert bbr.completion_time < aimd.completion_time
+
+
+def test_no_decode_failures_with_either_controller(ladder):
+    _, aimd, bbr = ladder
+    assert aimd.server_sidecar_failures == 0
+    assert bbr.server_sidecar_failures == 0
+    assert aimd.proxy_stats.decode_failures == 0
+    assert bbr.proxy_stats.decode_failures == 0

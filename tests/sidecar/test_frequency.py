@@ -1,0 +1,75 @@
+"""Tests for quACK frequency policies (repro.sidecar.frequency)."""
+
+import pytest
+
+from repro.sidecar.frequency import (
+    AdaptiveFrequency,
+    IntervalFrequency,
+    PacketCountFrequency,
+)
+
+
+class TestIntervalFrequency:
+    def test_emits_once_per_interval(self):
+        policy = IntervalFrequency(0.060)
+        assert not policy.on_packet(5, now=0.030, last_emit=0.0)
+        assert policy.on_packet(5, now=0.060, last_emit=0.0)
+        assert policy.on_packet(1, now=0.500, last_emit=0.4)
+
+    def test_interval_hint(self):
+        assert IntervalFrequency(0.1).interval_hint() == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalFrequency(0)
+
+    def test_repr(self):
+        assert "60.0 ms" in repr(IntervalFrequency(0.060))
+
+
+class TestPacketCountFrequency:
+    def test_every_n(self):
+        policy = PacketCountFrequency(32)
+        assert not policy.on_packet(31, 0.0, 0.0)
+        assert policy.on_packet(32, 0.0, 0.0)
+
+    def test_every_packet(self):
+        assert PacketCountFrequency(1).on_packet(1, 0.0, 0.0)
+
+    def test_no_interval_hint(self):
+        assert PacketCountFrequency(2).interval_hint() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketCountFrequency(0)
+
+
+class TestAdaptiveFrequency:
+    def test_behaves_like_packet_count(self):
+        policy = AdaptiveFrequency(initial_every=16)
+        assert not policy.on_packet(15, 0.0, 0.0)
+        assert policy.on_packet(16, 0.0, 0.0)
+
+    def test_retune_targets_constant_missing(self):
+        # Section 4.3: target ~t missing per quACK at the observed loss.
+        policy = AdaptiveFrequency(initial_every=16, target_missing=10)
+        assert policy.retune(0.10) == 100
+        assert policy.every_n == 100
+        assert policy.retune(0.5) == 20
+
+    def test_retune_clamps(self):
+        policy = AdaptiveFrequency(initial_every=16, min_every=4,
+                                   max_every=64, target_missing=10)
+        assert policy.retune(0.9) == 11  # 10/0.9
+        assert policy.retune(0.99) == 10
+        assert policy.retune(1e-9) == 64   # nearly lossless: slowest cadence
+        assert policy.retune(0.0) == 64
+        policy2 = AdaptiveFrequency(initial_every=16, min_every=8,
+                                    max_every=64, target_missing=1)
+        assert policy2.retune(0.9) == 8  # clamped up to min_every
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFrequency(initial_every=1, min_every=2)
+        with pytest.raises(ValueError):
+            AdaptiveFrequency(initial_every=600, max_every=512)

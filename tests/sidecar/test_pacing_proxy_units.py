@@ -1,0 +1,115 @@
+"""Unit tests for the CC-division pacing proxy internals."""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.netsim.node import Host, Router
+from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.topology import HopSpec, build_path
+from repro.quack.power_sum import PowerSumQuack
+from repro.sidecar.cc_division import PacingProxy
+from repro.sidecar.protocol import quack_packet
+from repro.transport.cc.fixed import FixedWindow
+
+
+def build_proxy(buffer_packets=4, controller=None):
+    sim = Simulator()
+    server = Host(sim, "server")
+    proxy = Router(sim, "proxy")
+    client = Host(sim, "client")
+    build_path(sim, [server, proxy, client], [HopSpec(), HopSpec()])
+    agent = PacingProxy(sim, proxy, server="server", client="client",
+                        flow_id="f", threshold=8,
+                        buffer_packets=buffer_packets,
+                        controller=controller)
+    delivered = []
+    client.add_handler(PacketKind.DATA, delivered.append)
+    server.add_handler(PacketKind.QUACK, lambda p: None)
+    return sim, server, proxy, client, agent, delivered
+
+
+def data_packet(identifier, flow_id="f"):
+    return Packet(src="server", dst="client", size_bytes=1500,
+                  kind=PacketKind.DATA, identifier=identifier,
+                  flow_id=flow_id)
+
+
+class TestCustody:
+    def test_takes_custody_of_matching_data(self):
+        sim, server, proxy, client, agent, delivered = build_proxy()
+        server.send(data_packet(1))
+        sim.run(until=1)
+        assert agent.stats.taken_custody == 1
+        assert agent.stats.forwarded == 1
+        assert len(delivered) == 1
+
+    def test_other_flows_pass_through_untouched(self):
+        sim, server, proxy, client, agent, delivered = build_proxy()
+        server.send(data_packet(1, flow_id="other"))
+        sim.run(until=1)
+        assert agent.stats.taken_custody == 0
+        assert len(delivered) == 1
+
+    def test_acks_pass_through(self):
+        sim, server, proxy, client, agent, delivered = build_proxy()
+        acks = []
+        server.add_handler(PacketKind.ACK, acks.append)
+        client.send(Packet(src="client", dst="server", size_bytes=52,
+                           kind=PacketKind.ACK, flow_id="f"))
+        sim.run(until=1)
+        assert len(acks) == 1
+        assert agent.stats.taken_custody == 0
+
+    def test_buffer_overflow_drops(self):
+        # A window of 1 packet wedges the drain; the 4-packet buffer then
+        # overflows.
+        sim, server, proxy, client, agent, delivered = build_proxy(
+            buffer_packets=4, controller=FixedWindow(1))
+        for i in range(8):
+            server.send(data_packet(100 + i))
+        sim.run(until=0.2)
+        assert agent.stats.buffer_drops > 0
+        assert agent.stats.max_buffer_depth <= 4
+
+    def test_window_gates_forwarding(self):
+        sim, server, proxy, client, agent, delivered = build_proxy(
+            buffer_packets=64, controller=FixedWindow(2))
+        for i in range(6):
+            server.send(data_packet(200 + i))
+        sim.run(until=0.2)
+        # Only 2 packets' worth of window, no quACK feedback yet.
+        assert agent.stats.forwarded == 2
+        assert agent.buffer_depth == 4
+
+
+class TestQuackFeedback:
+    def test_client_quack_opens_the_window(self):
+        sim, server, proxy, client, agent, delivered = build_proxy(
+            buffer_packets=64, controller=FixedWindow(2))
+        for i in range(4):
+            server.send(data_packet(300 + i))
+        sim.run(until=0.1)
+        assert agent.stats.forwarded == 2
+        # The client quACKs the two forwarded packets.
+        receiver_quack = PowerSumQuack(8)
+        for i in range(2):
+            receiver_quack.insert(300 + i)
+        client.send(quack_packet("client", "proxy", receiver_quack, "f",
+                                 sim.now))
+        sim.run(until=0.3)
+        assert agent.stats.quacks_from_client == 1
+        assert agent.stats.decode_failures == 0
+        assert agent.stats.forwarded == 4  # window freed, rest drained
+
+    def test_expire_sweep_releases_stuck_window(self):
+        sim, server, proxy, client, agent, delivered = build_proxy(
+            buffer_packets=64, controller=FixedWindow(2))
+        agent.expire_age = 0.3
+        for i in range(4):
+            server.send(data_packet(400 + i))
+        sim.run(until=0.1)
+        assert agent.stats.forwarded == 2
+        # No quACKs ever arrive; the sweep must eventually give up on the
+        # unconfirmed packets and drain the rest.
+        sim.run(until=3.0)
+        assert agent.stats.forwarded == 4

@@ -1,0 +1,173 @@
+"""Tests for the epoch/reset protocol (paper Section 3.3).
+
+"If the number of missing packets exceeds the threshold, the sender and
+receiver must reset the connection if they wish to use the quACK."  The
+implementation generalizes this to any unrecoverable decode divergence:
+drain, restart the cumulative state under a new epoch, and discard stale
+snapshots.  These tests poison a live session on purpose and watch it
+heal.
+"""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.netsim.node import Host, Router
+from repro.netsim.packet import PacketKind
+from repro.netsim.topology import HopSpec, build_path
+from repro.sidecar.agents import ProxyEmitterTap, ServerSidecar
+from repro.sidecar.frequency import PacketCountFrequency
+from repro.transport.connection import ReceiverConnection, SenderConnection
+
+SETTLE = 0.1
+
+
+def build_assisted(total=1460 * 400, reset_after=2):
+    sim = Simulator()
+    server = Host(sim, "server")
+    proxy = Router(sim, "proxy")
+    client = Host(sim, "client")
+    # Slow enough that the transfer (~585 KB) outlives a mid-flight reset.
+    build_path(sim, [server, proxy, client],
+               [HopSpec(bandwidth_bps=5e6, delay_s=0.005),
+                HopSpec(bandwidth_bps=5e6, delay_s=0.005)])
+    receiver = ReceiverConnection(sim, client, "server", total)
+    sender = SenderConnection(sim, server, "client", total)
+    tap = ProxyEmitterTap(sim, proxy, server="server", client="client",
+                          flow_id="flow0", policy=PacketCountFrequency(4),
+                          threshold=16)
+    sidecar = ServerSidecar(sim, sender, threshold=16, grace=2,
+                            apply_losses=False,
+                            reset_after_failures=reset_after,
+                            settle_time=SETTLE)
+    return sim, sender, receiver, tap, sidecar
+
+
+def run(sim, sender, receiver, deadline=60.0):
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + 0.25, deadline))
+        if sender.complete and receiver.complete:
+            break
+        if sim.peek_next_time() is None:
+            break
+
+
+# Poisoning, used throughout: inserting a ghost identifier into the
+# consumer's cumulative sums makes every subsequent delta contain a
+# "missing" identifier that is in no log -- the same class of divergence
+# a wrongly-declared loss causes -- so every decode fails until the
+# session resets.
+
+
+class TestRecovery:
+    def test_session_heals_after_reset(self):
+        sim, sender, receiver, tap, sidecar = build_assisted()
+        sender.start()
+        sim.run(until=0.1)
+        releases_before = sender.stats.sidecar_releases
+        assert releases_before > 0
+        # Poison with a ghost entry nothing will ever acknowledge.
+        sidecar.consumer.mine.insert(0xDEADBEEF)
+        run(sim, sender, receiver)
+        assert receiver.complete
+        assert sidecar.stats.resets_initiated >= 1
+        assert tap.resets_applied >= 1
+        assert tap.epoch == sidecar.epoch
+        # The session worked again after the reset: more window credits
+        # landed than had before the poisoning.
+        assert sender.stats.sidecar_releases > releases_before
+        # And failures stopped accumulating once healed.
+        assert sidecar._consecutive_failures < 2
+
+    def test_without_reset_the_session_stays_broken(self):
+        sim, sender, receiver, tap, sidecar = build_assisted(reset_after=None)
+        sender.start()
+        sim.run(until=0.1)
+        sidecar.consumer.mine.insert(0xDEADBEEF)
+        run(sim, sender, receiver)
+        assert receiver.complete  # the transport never depended on it
+        assert sidecar.stats.resets_initiated == 0
+        assert sidecar.stats.decode_failures > 5  # every quACK failed
+
+    def test_transfer_completes_despite_pause(self):
+        """The reset pauses the sender twice for settle_time; the
+        transfer must simply take a bit longer, not wedge."""
+        sim, sender, receiver, tap, sidecar = build_assisted()
+        sender.start()
+        sim.run(until=0.1)
+        sidecar.consumer.mine.insert(0xDEADBEEF)
+        run(sim, sender, receiver)
+        assert sender.complete and receiver.complete
+        assert receiver.stats.bytes_received == 1460 * 400
+
+    def test_stale_epoch_quacks_discarded_and_answered(self):
+        """A snapshot from the abandoned epoch arriving after the reset
+        is discarded, and the emitter is reminded with a fresh reset (so
+        a lost ResetMessage cannot wedge the handshake)."""
+        from repro.quack.power_sum import PowerSumQuack
+        from repro.sidecar.protocol import quack_packet
+
+        sim, sender, receiver, tap, sidecar = build_assisted()
+        sender.start()
+        sim.run(until=0.1)
+        sidecar.consumer.mine.insert(0xDEADBEEF)
+        run(sim, sender, receiver)
+        assert sidecar.epoch >= 1
+        # Replay an epoch-0 snapshot at the server.
+        stale = PowerSumQuack(16)
+        stale.insert(4242)
+        releases = sender.stats.sidecar_releases
+        sidecar.sender.host.receive(quack_packet(
+            "proxy", "server", stale, "flow0", sim.now, epoch=0))
+        assert sidecar.stats.stale_epoch_quacks >= 1
+        assert sender.stats.sidecar_releases == releases  # not processed
+        sim.run(until=sim.now + 1.0)
+        # The reminder reset reached the emitter (already at that epoch).
+        assert tap.epoch == sidecar.epoch
+
+    def test_multiple_poisonings_multiple_epochs(self):
+        sim, sender, receiver, tap, sidecar = build_assisted(
+            total=1460 * 800)
+        sender.start()
+        sim.run(until=0.1)
+        sidecar.consumer.mine.insert(0xDEADBEEF)
+        sim.run(until=2.0)
+        first_epoch = sidecar.epoch
+        assert first_epoch >= 1
+        sidecar.consumer.mine.insert(0xFEEDFACE)
+        run(sim, sender, receiver)
+        assert receiver.complete
+        assert sidecar.epoch > first_epoch
+        assert tap.epoch == sidecar.epoch
+
+
+class TestEpochPlumbing:
+    def test_emitter_ignores_stale_and_duplicate_resets(self):
+        sim = Simulator()
+        server = Host(sim, "server")
+        proxy = Router(sim, "proxy")
+        client = Host(sim, "client")
+        build_path(sim, [server, proxy, client], [HopSpec(), HopSpec()])
+        tap = ProxyEmitterTap(sim, proxy, server="server", client="client",
+                              flow_id="flow0",
+                              policy=PacketCountFrequency(2))
+        tap._apply_reset(2)
+        assert tap.epoch == 2 and tap.resets_applied == 1
+        tap._apply_reset(2)  # duplicate
+        tap._apply_reset(1)  # stale
+        assert tap.epoch == 2 and tap.resets_applied == 1
+        tap._apply_reset(5)
+        assert tap.epoch == 5 and tap.resets_applied == 2
+
+    def test_reset_clears_the_emitter_accumulator(self):
+        sim = Simulator()
+        server = Host(sim, "server")
+        proxy = Router(sim, "proxy")
+        client = Host(sim, "client")
+        build_path(sim, [server, proxy, client], [HopSpec(), HopSpec()])
+        tap = ProxyEmitterTap(sim, proxy, server="server", client="client",
+                              flow_id="flow0",
+                              policy=PacketCountFrequency(2))
+        tap.emitter.observe(123, 0.0)
+        assert tap.emitter.quack.count == 1
+        tap._apply_reset(1)
+        assert tap.emitter.quack.count == 0

@@ -1,0 +1,122 @@
+"""Property tests for emitter/consumer sessions under hostile schedules.
+
+The paper's dropped-quACK resilience claim (Section 3.3), as a law: with
+FIFO delivery and no *data* loss, a session must never declare a false
+loss and never fail a decode -- no matter which quACK snapshots are
+dropped, how traffic interleaves with decodes, or where the quACK
+cadence falls.  Data loss weakens this to "only truly-dropped packets
+are ever declared lost" (grace >= 1, no reordering).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sidecar.consumer import QuackConsumer
+from repro.sidecar.emitter import QuackEmitter
+from repro.sidecar.frequency import PacketCountFrequency
+
+# A schedule is a list of steps: "send" (packet that arrives), "drop"
+# (packet lost on the wire), "quack" (emitter snapshot that reaches the
+# consumer), "skip" (snapshot generated but lost in transit).
+steps = st.lists(st.sampled_from(["send", "send", "send", "drop",
+                                  "quack", "skip"]),
+                 min_size=1, max_size=120)
+
+
+@given(schedule=steps, seed=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=60, deadline=None)
+def test_no_false_losses_under_any_quack_schedule(schedule, seed):
+    rng = random.Random(seed)
+    consumer = QuackConsumer(threshold=30, grace=1)
+    emitter = QuackEmitter(threshold=30,
+                           policy=PacketCountFrequency(10 ** 9))
+    truly_dropped: set[int] = set()
+    declared: set[int] = set()
+    clock = 0.0
+    index = 0
+    for step in schedule:
+        clock += 1.0
+        if step in ("send", "drop"):
+            identifier = rng.getrandbits(32)
+            consumer.record_send(identifier, index, clock)
+            if step == "send":
+                emitter.quack.insert(identifier)
+            else:
+                truly_dropped.add(index)
+            index += 1
+        else:
+            snapshot = emitter.quack.copy()
+            if step == "skip":
+                continue  # the quACK datagram was lost: no state change
+            feedback = consumer.on_quack(snapshot, clock)
+            # Outstanding never exceeds log + threshold constraints such
+            # that decoding breaks: with t=30 > any run of drops here the
+            # decode must succeed or be a pure truncation case.
+            if feedback.ok:
+                declared.update(feedback.lost)
+    # THE LAW: everything declared lost was genuinely dropped.
+    assert declared <= truly_dropped
+
+
+@given(schedule=steps, seed=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=60, deadline=None)
+def test_no_failures_without_data_loss(schedule, seed):
+    """With zero data loss, every decode must succeed and eventually
+    confirm every packet that a later quACK covers."""
+    rng = random.Random(seed)
+    consumer = QuackConsumer(threshold=30, grace=1)
+    emitter = QuackEmitter(threshold=30,
+                           policy=PacketCountFrequency(10 ** 9))
+    clock = 0.0
+    confirmed = 0
+    sent = 0
+    for step in schedule:
+        clock += 1.0
+        if step in ("send", "drop"):  # treat drops as deliveries here
+            identifier = rng.getrandbits(32)
+            consumer.record_send(identifier, sent, clock)
+            emitter.quack.insert(identifier)
+            sent += 1
+        elif step == "quack":
+            feedback = consumer.on_quack(emitter.quack.copy(), clock)
+            assert feedback.ok
+            assert feedback.lost == [] and feedback.suspected == []
+            confirmed += len(feedback.received)
+    # A final flush confirms everything outstanding.
+    feedback = consumer.on_quack(emitter.quack.copy(), clock + 1)
+    assert feedback.ok
+    confirmed += len(feedback.received)
+    assert confirmed == sent
+    assert consumer.outstanding == 0
+
+
+@given(drops=st.sets(st.integers(min_value=0, max_value=59), max_size=10),
+       cadence=st.integers(min_value=1, max_value=25))
+@settings(max_examples=50, deadline=None)
+def test_every_true_loss_eventually_declared(drops, cadence):
+    """Interior losses are always found once later traffic flows; only a
+    trailing run can stay 'in transit' (and a final extra packet plus
+    flush converts those too)."""
+    rng = random.Random(42)
+    consumer = QuackConsumer(threshold=60, grace=1)
+    emitter = QuackEmitter(threshold=60, policy=PacketCountFrequency(cadence))
+    clock = 0.0
+    for index in range(60):
+        clock += 1.0
+        identifier = rng.getrandbits(32)
+        consumer.record_send(identifier, index, clock)
+        if index in drops:
+            continue
+        snapshot = emitter.observe(identifier, clock)
+        if snapshot is not None:
+            consumer.on_quack(snapshot, clock)
+    # One guaranteed-delivered trailer, then a flush.
+    trailer = rng.getrandbits(32)
+    consumer.record_send(trailer, 999, clock + 1)
+    emitter.quack.insert(trailer)
+    feedback = consumer.on_quack(emitter.quack.copy(), clock + 2)
+    assert feedback.ok
+    total_declared = consumer.stats.declared_lost
+    assert total_declared == len(drops)

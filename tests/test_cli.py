@@ -1,0 +1,138 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.quack import wire
+from repro.quack.power_sum import PowerSumQuack
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestQuackCommands:
+    def test_encode_decode_roundtrip(self, capsys):
+        code, out = run_cli(capsys, "quack", "encode", "--ids", "11,22,33",
+                            "--threshold", "4")
+        assert code == 0
+        frame = out.strip()
+        code, out = run_cli(capsys, "quack", "decode", "--frame", frame,
+                            "--log", "11,22,33,44,55")
+        assert code == 0
+        assert "missing (2): 44,55" in out
+
+    def test_decode_nothing_missing(self, capsys):
+        _, out = run_cli(capsys, "quack", "encode", "--ids", "7,8",
+                         "--threshold", "2")
+        frame = out.strip()
+        code, out = run_cli(capsys, "quack", "decode", "--frame", frame,
+                            "--log", "7,8")
+        assert code == 0
+        assert "missing (0): -" in out
+
+    def test_decode_threshold_exceeded_exits_nonzero(self, capsys):
+        _, out = run_cli(capsys, "quack", "encode", "--ids", "",
+                         "--threshold", "2")
+        frame = out.strip()
+        code, out = run_cli(capsys, "quack", "decode", "--frame", frame,
+                            "--log", "1,2,3,4,5")
+        assert code == 1
+        assert "threshold-exceeded" in out
+
+    def test_decode_methods(self, capsys):
+        _, out = run_cli(capsys, "quack", "encode", "--ids", "5",
+                         "--threshold", "2")
+        frame = out.strip()
+        for method in ("candidates", "factor"):
+            code, out = run_cli(capsys, "quack", "decode", "--frame", frame,
+                                "--log", "5,6", "--method", method)
+            assert code == 0 and "missing (1): 6" in out
+
+    def test_hex_ids_accepted(self, capsys):
+        code, out = run_cli(capsys, "quack", "encode", "--ids",
+                            "0xff,0x10", "--threshold", "2")
+        assert code == 0
+
+    def test_bad_ids_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["quack", "encode", "--ids", "1,banana"])
+
+    def test_bad_hex_frame_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["quack", "decode", "--frame", "zz", "--log", "1"])
+
+    def test_non_power_sum_frame_rejected(self, capsys):
+        from repro.quack.strawman import EchoQuack
+        frame = wire.encode(EchoQuack()).hex()
+        with pytest.raises(SystemExit):
+            main(["quack", "decode", "--frame", frame, "--log", "1"])
+
+
+class TestTables:
+    def test_table3(self, capsys):
+        code, out = run_cli(capsys, "tables", "table3")
+        assert code == 0
+        assert "paper 0.98" in out
+
+    def test_table2_quick(self, capsys):
+        code, out = run_cli(capsys, "tables", "table2", "--trials", "3")
+        assert code == 0
+        assert "Power Sums" in out and "Strawman 1" in out
+
+
+class TestSizing:
+    def test_cc_division_defaults_match_paper(self, capsys):
+        code, out = run_cli(capsys, "sizing", "cc-division")
+        assert code == 0
+        assert "packets/RTT: 1000" in out
+        assert "quACK bytes: 82" in out
+
+    def test_ack_reduction(self, capsys):
+        code, out = run_cli(capsys, "sizing", "ack-reduction")
+        assert code == 0
+        assert "1.60x" in out
+
+    def test_retransmission(self, capsys):
+        code, out = run_cli(capsys, "sizing", "retransmission",
+                            "--loss", "0.1")
+        assert code == 0
+        assert "every 200 packets" in out
+
+
+class TestExperiments:
+    def test_cc_division_small(self, capsys):
+        code, out = run_cli(capsys, "experiment", "cc-division",
+                            "--total", "150000", "--loss", "0.01")
+        assert code == 0
+        assert "completed: True" in out
+        assert "goodput" in out
+
+    def test_retransmission_baseline(self, capsys):
+        code, out = run_cli(capsys, "experiment", "retransmission",
+                            "--total", "150000", "--no-sidecar")
+        assert code == 0
+        assert "in-network retransmission: False" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestHeadroom:
+    def test_headroom_table(self, capsys):
+        code, out = run_cli(capsys, "headroom", "--trials", "2",
+                            "--packets", "600")
+        assert code == 0
+        assert "random" in out and "bursty" in out
+        # Four threshold rows.
+        assert sum(1 for line in out.splitlines()
+                   if line.strip().startswith(("5 ", "10", "20", "40"))) == 4

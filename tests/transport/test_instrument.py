@@ -1,0 +1,108 @@
+"""Tests for connection probes and text charts."""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.netsim.node import Host
+from repro.netsim.topology import HopSpec, build_path
+from repro.transport.connection import ReceiverConnection, SenderConnection
+from repro.transport.instrument import (
+    ConnectionProbe,
+    ConnectionSample,
+    ascii_chart,
+)
+
+
+def run_probed(total=400_000, interval=0.05):
+    sim = Simulator()
+    server, client = Host(sim, "server"), Host(sim, "client")
+    build_path(sim, [server, client],
+               [HopSpec(bandwidth_bps=20e6, delay_s=0.01)])
+    receiver = ReceiverConnection(sim, client, "server", total)
+    sender = SenderConnection(sim, server, "client", total)
+    probe = ConnectionProbe(sim, sender, interval_s=interval)
+    sender.start()
+    sim.run(until=30)
+    return sender, receiver, probe
+
+
+class TestConnectionProbe:
+    def test_samples_at_cadence(self):
+        sender, receiver, probe = run_probed()
+        assert receiver.complete
+        assert len(probe.samples) >= 2
+        gaps = [b.time - a.time
+                for a, b in zip(probe.samples, probe.samples[1:])]
+        assert all(abs(g - 0.05) < 1e-9 for g in gaps)
+
+    def test_stops_at_completion(self):
+        sender, receiver, probe = run_probed()
+        # The sender finishes one RTT after the receiver (final ACK);
+        # sampling must stop within one interval of that.
+        final = probe.samples[-1].time
+        assert final <= sender.completed_at + 0.05 + 1e-9
+        # No samples long after completion.
+        assert final < 5.0
+
+    def test_series_extraction(self):
+        _, _, probe = run_probed()
+        times, cwnd = probe.series("cwnd_bytes")
+        assert len(times) == len(cwnd) == len(probe.samples)
+        assert cwnd[0] > 0
+        times2, packets = probe.cwnd_packets_series()
+        assert packets[0] == pytest.approx(10, abs=1)  # initial window
+
+    def test_monotone_counters(self):
+        _, _, probe = run_probed()
+        sent = [s.packets_sent for s in probe.samples]
+        assert sent == sorted(sent)
+
+    def test_manual_stop(self):
+        sim = Simulator()
+        server, client = Host(sim, "server"), Host(sim, "client")
+        build_path(sim, [server, client], [HopSpec()])
+        receiver = ReceiverConnection(sim, client, "server", 1_000_000)
+        sender = SenderConnection(sim, server, "client", 1_000_000)
+        probe = ConnectionProbe(sim, sender, interval_s=0.01)
+        sender.start()
+        sim.run(until=0.05)
+        probe.stop()
+        count = len(probe.samples)
+        sim.run(until=1.0)
+        assert len(probe.samples) == count
+
+    def test_interval_validation(self):
+        sim = Simulator()
+        server = Host(sim, "s")
+        with pytest.raises(ValueError):
+            ConnectionProbe(sim, object(), interval_s=0)  # type: ignore
+
+
+class TestAsciiChart:
+    def test_renders_expected_shape(self):
+        chart = ascii_chart([0, 1, 2, 3, 4, 5], width=6, height=3,
+                            label="ramp")
+        lines = chart.splitlines()
+        assert lines[0].startswith("ramp")
+        assert len(lines) == 4
+        assert len(lines[1]) == 6
+        # Top row only shows the highest values; bottom row shows all.
+        assert lines[1].count("#") < lines[3].count("#")
+
+    def test_flat_series(self):
+        chart = ascii_chart([5, 5, 5], width=3, height=2)
+        lines = chart.splitlines()
+        assert "#" in lines[-1]
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart([], label="x")
+
+    def test_buckets_longer_series(self):
+        chart = ascii_chart(list(range(1000)), width=10, height=2)
+        assert len(chart.splitlines()[1]) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], width=0)
+        with pytest.raises(ValueError):
+            ascii_chart([1], height=0)

@@ -1,0 +1,121 @@
+"""Tests for RangeSet (repro.transport.ranges), with a model-based check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.ranges import RangeSet
+
+range_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=200),
+              st.integers(min_value=0, max_value=10)),
+    min_size=0, max_size=30,
+)
+
+
+class TestAddAndMerge:
+    def test_single_values(self):
+        rs = RangeSet()
+        rs.add(5)
+        rs.add(7)
+        assert rs.ranges == ((5, 5), (7, 7))
+
+    def test_adjacent_values_merge(self):
+        rs = RangeSet()
+        rs.add(5)
+        rs.add(6)
+        assert rs.ranges == ((5, 6),)
+
+    def test_bridge_merge(self):
+        rs = RangeSet()
+        rs.add(5)
+        rs.add(7)
+        rs.add(6)
+        assert rs.ranges == ((5, 7),)
+
+    def test_overlapping_ranges(self):
+        rs = RangeSet()
+        rs.add_range(0, 10)
+        rs.add_range(5, 15)
+        assert rs.ranges == ((0, 15),)
+
+    def test_containing_range_absorbs(self):
+        rs = RangeSet()
+        rs.add_range(3, 4)
+        rs.add_range(0, 10)
+        assert rs.ranges == ((0, 10),)
+
+    def test_duplicate_add_is_noop(self):
+        rs = RangeSet()
+        rs.add(5)
+        rs.add(5)
+        assert rs.ranges == ((5, 5),)
+        assert len(rs) == 1
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeSet().add_range(5, 3)
+
+    def test_constructor_ranges(self):
+        rs = RangeSet([(0, 2), (4, 6)])
+        assert rs.ranges == ((0, 2), (4, 6))
+
+    @given(ops=range_ops)
+    @settings(max_examples=80)
+    def test_model_based(self, ops):
+        """RangeSet must behave exactly like a plain set of ints."""
+        rs = RangeSet()
+        model = set()
+        for lo, width in ops:
+            rs.add_range(lo, lo + width)
+            model.update(range(lo, lo + width + 1))
+        assert len(rs) == len(model)
+        # Ranges are sorted, disjoint, non-adjacent.
+        flat = list(rs.ranges)
+        for (lo1, hi1), (lo2, hi2) in zip(flat, flat[1:]):
+            assert hi1 + 2 <= lo2
+        # Membership agrees on a sample.
+        for v in list(model)[:50]:
+            assert v in rs
+        for v in range(0, 250, 7):
+            assert (v in rs) == (v in model)
+
+
+class TestQueries:
+    def test_min_max(self):
+        rs = RangeSet([(5, 9), (20, 22)])
+        assert rs.min_value == 5
+        assert rs.max_value == 22
+        assert RangeSet().max_value is None
+        assert RangeSet().min_value is None
+
+    def test_bool(self):
+        assert not RangeSet()
+        assert RangeSet([(1, 1)])
+
+    def test_covers_contiguously(self):
+        rs = RangeSet([(0, 10), (12, 20)])
+        assert rs.covers_contiguously(0, 10)
+        assert rs.covers_contiguously(3, 7)
+        assert not rs.covers_contiguously(0, 12)
+        assert not rs.covers_contiguously(9, 13)
+        assert rs.covers_contiguously(12, 20)
+
+    def test_missing_below(self):
+        rs = RangeSet([(0, 3), (6, 8), (12, 12)])
+        assert rs.missing_below(12) == [(4, 5), (9, 11)]
+        assert rs.missing_below(14) == [(4, 5), (9, 11), (13, 14)]
+        assert rs.missing_below(3) == []
+        assert rs.missing_below(4) == [(4, 4)]
+
+    def test_missing_below_empty_set(self):
+        assert RangeSet().missing_below(10) == []
+
+    def test_equality(self):
+        assert RangeSet([(1, 3)]) == RangeSet([(1, 2), (3, 3)])
+        assert RangeSet() != RangeSet([(0, 0)])
+
+    def test_iter_and_repr(self):
+        rs = RangeSet([(1, 2)])
+        assert list(rs) == [(1, 2)]
+        assert "[1,2]" in repr(rs)
