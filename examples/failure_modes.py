@@ -8,7 +8,10 @@ This example triggers each documented failure on purpose:
 1. threshold exceeded (Section 3.2: "if t < m, decoding fails");
 2. identifier collisions making packet fates indeterminate (Section 3.2);
 3. a desynchronized session (the Section 3.3 reordering hazard) and the
-   reset that heals it (Section 3.3: "must reset the connection").
+   reset that heals it (Section 3.3: "must reset the connection");
+4. infrastructure failures under the chaos harness -- a middlebox
+   crash/restart and a sidecar-channel blackout -- showing the health
+   state machine walking the degradation ladder and back.
 
 Run::
 
@@ -80,10 +83,27 @@ def desync_and_reset() -> None:
           "tests/sidecar/test_reset_protocol.py)")
 
 
+def chaos_failures() -> None:
+    print("\n== 4. infrastructure failures (chaos harness) ==")
+    from repro.chaos import format_result, run_plan
+
+    print("-- middlebox crash/restart: the accumulator is wiped twice "
+          "mid-flow;")
+    print("   the server detects the count regression and heals with "
+          "implicit resets")
+    print(format_result(run_plan("crash-restart", seed=1)))
+
+    print("\n-- sidecar-channel blackout: no quACKs for 0.6 s; the sender "
+          "degrades")
+    print("   to pure end-to-end delivery, then recovers after probation")
+    print(format_result(run_plan("blackout", seed=1)))
+
+
 def main() -> None:
     threshold_exceeded()
     collisions()
     desync_and_reset()
+    chaos_failures()
 
 
 if __name__ == "__main__":

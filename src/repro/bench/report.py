@@ -33,6 +33,8 @@ class ReportOptions:
     headroom_trials: int = 8
     include_protocols: bool = True
     include_headroom: bool = True
+    include_chaos: bool = True
+    chaos_seed: int = 1
 
 
 def environment_section() -> str:
@@ -159,6 +161,35 @@ def headroom_section(trials: int) -> str:
     return "\n".join(lines)
 
 
+def chaos_section(seed: int) -> str:
+    from repro.chaos import PLANS, run_plan
+
+    lines = [
+        "## Robustness under fault injection (chaos harness)",
+        "",
+        "Each plan runs the canonical assisted transfer with one fault "
+        "injector on the sidecar channel and checks the invariants: all "
+        "bytes delivered end-to-end, epochs converged, corruption "
+        "classified as wire errors.",
+        "",
+        "| plan | completed in | epochs | resets | wire errors | "
+        "final health | invariants |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for name in sorted(PLANS):
+        result = run_plan(name, seed=seed)
+        counters = result.server_counters
+        lines.append(
+            f"| {name} | {result.duration_s:.2f} s "
+            f"| {result.emitter_epoch}/{result.server_epoch} "
+            f"| {counters['resets_initiated']} "
+            f"| {counters['wire_errors']} "
+            f"| {result.health_final.value} "
+            f"| {'held' if result.ok else 'VIOLATED'} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def full_report(options: ReportOptions | None = None,
                 progress: Callable[[str], None] | None = None) -> str:
     """Generate the complete markdown report."""
@@ -180,4 +211,7 @@ def full_report(options: ReportOptions | None = None,
     if options.include_headroom:
         note("running threshold-headroom sweep (E11)...")
         sections.append(headroom_section(options.headroom_trials))
+    if options.include_chaos:
+        note("running chaos plans (fault injection)...")
+        sections.append(chaos_section(options.chaos_seed))
     return "\n".join(sections)

@@ -1,0 +1,35 @@
+"""Chaos harness: fault-injection scenarios for the sidecar stack.
+
+The netsim layer provides the generic injectors
+(:mod:`repro.netsim.faults`); this package adds the sidecar-aware pieces
+(:mod:`repro.chaos.injectors`) and the scenario runner with invariant
+checks (:mod:`repro.chaos.harness`).  Quick start::
+
+    from repro.chaos import run_plan, format_result
+    result = run_plan("blackout", seed=1)
+    print(format_result(result))
+    assert result.ok
+"""
+
+from repro.chaos.harness import (
+    DEFAULT_TOTAL,
+    PLANS,
+    ChaosResult,
+    ChaosSetup,
+    format_result,
+    run_chaos_transfer,
+    run_plan,
+)
+from repro.chaos.injectors import MiddleboxCrash, sidecar_corrupter
+
+__all__ = [
+    "ChaosSetup",
+    "ChaosResult",
+    "run_chaos_transfer",
+    "run_plan",
+    "format_result",
+    "PLANS",
+    "DEFAULT_TOTAL",
+    "MiddleboxCrash",
+    "sidecar_corrupter",
+]

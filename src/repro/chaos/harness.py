@@ -1,0 +1,317 @@
+"""The chaos harness: scripted adverse scenarios with invariant checks.
+
+One canonical assisted transfer -- server -> proxy -> client with a
+:class:`~repro.sidecar.agents.ProxyEmitterTap` quACKing back to a
+:class:`~repro.sidecar.agents.ServerSidecar` -- runs under a
+:class:`ChaosSetup`: fault injectors on the sidecar channel plus
+scheduled middlebox crashes.  The harness collects everything a
+robustness argument needs into a :class:`ChaosResult` and checks the
+paper's core promise as machine-verifiable invariants
+(:meth:`ChaosResult.violations`):
+
+* the base transport delivered every byte end-to-end;
+* emitter and consumer epochs converged;
+* every corrupted datagram that arrived was classified as wire
+  corruption (checksum), never silently mis-decoded.
+
+Named plans (:data:`PLANS`, one per built-in injector) make scenarios
+replayable from tests, the CLI (``python -m repro chaos <plan>``), and
+``examples/failure_modes.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.chaos.injectors import MiddleboxCrash, sidecar_corrupter
+from repro.netsim.core import Simulator
+from repro.netsim.faults import (
+    SIDECAR_KINDS,
+    Blackout,
+    BurstLoss,
+    Corruption,
+    DelaySpike,
+    Duplication,
+    FaultInjector,
+)
+from repro.netsim.node import Host, Router
+from repro.netsim.topology import HopSpec, PathTopology, build_path
+from repro.sidecar.agents import ProxyEmitterTap, ServerSidecar
+from repro.sidecar.frequency import PacketCountFrequency
+from repro.sidecar.health import HealthConfig, HealthState, HealthTransition
+from repro.transport.connection import ReceiverConnection, SenderConnection
+
+#: Default transfer: ~876 KB, about 1.5 s at the default 5 Mbps.
+DEFAULT_TOTAL = 1460 * 600
+
+
+@dataclass
+class ChaosSetup:
+    """What goes wrong: injectors per direction plus process crashes.
+
+    ``faults_toward_client`` rides the server->proxy->client links (the
+    direction reset/config handshakes travel); ``faults_toward_server``
+    rides client->proxy->server (the direction quACKs travel).  The same
+    injector instance may serve both.  ``crashes`` wipe the proxy
+    emitter at fixed times.
+    """
+
+    name: str = "custom"
+    faults_toward_client: FaultInjector | None = None
+    faults_toward_server: FaultInjector | None = None
+    crashes: MiddleboxCrash | None = None
+
+    def injectors(self) -> list[FaultInjector]:
+        unique: list[FaultInjector] = []
+        for injector in (self.faults_toward_client, self.faults_toward_server):
+            if injector is not None and injector not in unique:
+                unique.append(injector)
+        return unique
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced, plus the invariant verdicts."""
+
+    plan: str
+    seed: int
+    total_bytes: int
+    completed: bool
+    duration_s: float
+    bytes_received: int
+    emitter_epoch: int
+    server_epoch: int
+    health_final: HealthState
+    health_transitions: list[HealthTransition]
+    server_counters: dict
+    emitter_counters: dict
+    injector_stats: dict
+    crashes: int
+    faults_dropped: int
+    faults_corrupted: int
+    faults_duplicated: int
+    wire_errors_seen: int
+    control_corruptions_seen: int
+
+    def violations(self) -> list[str]:
+        """Invariant failures; an empty list means the run held up."""
+        problems = []
+        if not self.completed:
+            problems.append(
+                f"transfer did not complete ({self.bytes_received} of "
+                f"{self.total_bytes} bytes after {self.duration_s:.1f} s)")
+        elif self.bytes_received != self.total_bytes:
+            problems.append(
+                f"byte count mismatch: {self.bytes_received} != "
+                f"{self.total_bytes}")
+        if self.emitter_epoch != self.server_epoch:
+            problems.append(
+                f"epochs diverged: emitter {self.emitter_epoch}, "
+                f"server {self.server_epoch}")
+        if (self.faults_corrupted > 0
+                and self.wire_errors_seen + self.control_corruptions_seen == 0):
+            problems.append(
+                f"{self.faults_corrupted} corrupted datagrams delivered but "
+                f"none classified as wire corruption")
+        return problems
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+
+def run_chaos_transfer(setup: ChaosSetup, *,
+                       seed: int = 1,
+                       total_bytes: int = DEFAULT_TOTAL,
+                       bandwidth_bps: float = 5e6,
+                       delay_s: float = 0.005,
+                       quack_every: int = 4,
+                       threshold: int = 16,
+                       reset_after_failures: int | None = 3,
+                       settle_time: float = 0.1,
+                       health: HealthConfig | None = None,
+                       divide_cc: bool = False,
+                       deadline_s: float = 60.0,
+                       drain_s: float = 3.0) -> ChaosResult:
+    """Run the canonical assisted transfer under ``setup``.
+
+    ``health`` defaults to a ladder tuned to the scenario's timescales
+    (staleness after 0.25 s, probation 0.25 s); pass None explicitly via
+    ``HealthConfig()`` alternatives if different thresholds are wanted.
+    After completion the simulation drains for ``drain_s`` so in-flight
+    handshakes (reset retries) can converge the epochs.
+    """
+    if health is None:
+        health = HealthConfig(degrade_after=2, e2e_only_after=6,
+                              stale_after=0.25, probation=0.25)
+    sim = Simulator()
+    server = Host(sim, "server")
+    proxy = Router(sim, "proxy")
+    client = Host(sim, "client")
+    topology = build_path(
+        sim, [server, proxy, client],
+        [HopSpec(bandwidth_bps=bandwidth_bps, delay_s=delay_s,
+                 faults_up=setup.faults_toward_client,
+                 faults_down=setup.faults_toward_server),
+         HopSpec(bandwidth_bps=bandwidth_bps, delay_s=delay_s)])
+    receiver = ReceiverConnection(sim, client, "server", total_bytes)
+    sender = SenderConnection(sim, server, "client", total_bytes,
+                              cc_from_acks=not divide_cc)
+    tap = ProxyEmitterTap(sim, proxy, server="server", client="client",
+                          flow_id="flow0",
+                          policy=PacketCountFrequency(quack_every),
+                          threshold=threshold)
+    sidecar = ServerSidecar(sim, sender, threshold=threshold, grace=2,
+                            apply_losses=True, congestive_loss=False,
+                            reset_after_failures=reset_after_failures,
+                            settle_time=settle_time, health=health)
+    if setup.crashes is not None:
+        setup.crashes.arm(sim, tap)
+    sender.start()
+
+    while sim.now < deadline_s:
+        sim.run(until=min(sim.now + 0.25, deadline_s))
+        if sender.complete and receiver.complete:
+            break
+        if sim.peek_next_time() is None:
+            break
+    completed = sender.complete and receiver.complete
+    duration = sim.now
+    # Health is judged at completion time: once the transfer is done,
+    # quACKs legitimately stop, so anything later would read as "stale".
+    monitor = sidecar.monitor
+    health_final = sidecar.health_state
+    transitions = list(monitor.stats.transitions) if monitor is not None \
+        else []
+    # Let straggling handshakes converge (the reset retry timer keeps
+    # re-announcing the epoch until the emitter demonstrably adopted it).
+    sim.run(until=sim.now + drain_s)
+
+    injector_stats = {
+        injector.name: injector.stats for injector in setup.injectors()}
+    dropped = sum(s.dropped for s in injector_stats.values())
+    corrupted = sum(s.corrupted for s in injector_stats.values())
+    duplicated = sum(s.duplicated for s in injector_stats.values())
+    return ChaosResult(
+        plan=setup.name,
+        seed=seed,
+        total_bytes=total_bytes,
+        completed=completed,
+        duration_s=duration,
+        bytes_received=receiver.stats.bytes_received,
+        emitter_epoch=tap.epoch,
+        server_epoch=sidecar.epoch,
+        health_final=health_final,
+        health_transitions=transitions,
+        server_counters=sidecar.fault_counters(),
+        emitter_counters=tap.fault_counters(),
+        injector_stats=injector_stats,
+        crashes=setup.crashes.crashes if setup.crashes is not None else 0,
+        faults_dropped=dropped,
+        faults_corrupted=corrupted,
+        faults_duplicated=duplicated,
+        wire_errors_seen=sidecar.stats.wire_errors,
+        control_corruptions_seen=tap.corrupt_frames,
+    )
+
+
+# -- named plans ----------------------------------------------------------------
+
+def _crash_restart(seed: int) -> ChaosSetup:
+    return ChaosSetup(name="crash-restart",
+                      crashes=MiddleboxCrash(times=(0.4, 0.9)))
+
+
+def _blackout(seed: int) -> ChaosSetup:
+    outage = Blackout([(0.3, 0.9)], kinds=SIDECAR_KINDS)
+    return ChaosSetup(name="blackout",
+                      faults_toward_client=outage,
+                      faults_toward_server=outage)
+
+
+def _corruption(seed: int) -> ChaosSetup:
+    noise = Corruption(rate=0.25, seed=seed, kinds=SIDECAR_KINDS,
+                       corrupter=sidecar_corrupter)
+    return ChaosSetup(name="corruption",
+                      faults_toward_client=noise,
+                      faults_toward_server=noise)
+
+
+def _duplication(seed: int) -> ChaosSetup:
+    dupes = Duplication(rate=0.25, seed=seed, kinds=SIDECAR_KINDS)
+    return ChaosSetup(name="duplication",
+                      faults_toward_client=dupes,
+                      faults_toward_server=dupes)
+
+
+def _burst_loss(seed: int) -> ChaosSetup:
+    bursts = BurstLoss([(0.3, 0.5), (0.8, 1.0)], rate=1.0, seed=seed,
+                       kinds=SIDECAR_KINDS)
+    return ChaosSetup(name="burst-loss",
+                      faults_toward_client=bursts,
+                      faults_toward_server=bursts)
+
+
+def _delay_spike(seed: int) -> ChaosSetup:
+    spike = DelaySpike([(0.3, 0.6)], extra_delay_s=0.08, kinds=SIDECAR_KINDS)
+    return ChaosSetup(name="delay-spike",
+                      faults_toward_client=spike,
+                      faults_toward_server=spike)
+
+
+#: Built-in scenarios, one per injector family.  Each factory takes the
+#: run seed and returns a fresh (stateful, seeded) setup.
+PLANS: Mapping[str, Callable[[int], ChaosSetup]] = {
+    "crash-restart": _crash_restart,
+    "blackout": _blackout,
+    "corruption": _corruption,
+    "duplication": _duplication,
+    "burst-loss": _burst_loss,
+    "delay-spike": _delay_spike,
+}
+
+
+def run_plan(name: str, seed: int = 1, **kwargs) -> ChaosResult:
+    """Build and run one of the built-in plans by name."""
+    try:
+        factory = PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos plan {name!r}; have {', '.join(sorted(PLANS))}")
+    return run_chaos_transfer(factory(seed), seed=seed, **kwargs)
+
+
+def format_result(result: ChaosResult) -> str:
+    """Human-readable report of one run, for the CLI and examples."""
+    lines = [
+        f"chaos plan: {result.plan} (seed {result.seed})",
+        f"transfer: {'completed' if result.completed else 'INCOMPLETE'} "
+        f"({result.bytes_received}/{result.total_bytes} bytes "
+        f"in {result.duration_s:.2f} s)",
+        f"epochs: emitter {result.emitter_epoch}, "
+        f"server {result.server_epoch}",
+        f"faults: dropped {result.faults_dropped}, "
+        f"corrupted {result.faults_corrupted}, "
+        f"duplicated {result.faults_duplicated}, "
+        f"crashes {result.crashes}",
+        f"server counters: "
+        + ", ".join(f"{k}={v}" for k, v in result.server_counters.items()),
+        f"emitter counters: "
+        + ", ".join(f"{k}={v}" for k, v in result.emitter_counters.items()),
+    ]
+    if result.health_transitions:
+        lines.append("health transitions:")
+        for hop in result.health_transitions:
+            lines.append(f"  {hop.time:8.3f}s  {hop.old.value:>10s} -> "
+                         f"{hop.new.value:<10s} ({hop.reason})")
+    else:
+        lines.append("health transitions: none (stayed healthy)")
+    lines.append(f"final health: {result.health_final.value}")
+    violations = result.violations()
+    if violations:
+        lines.append("INVARIANT VIOLATIONS:")
+        lines.extend(f"  - {violation}" for violation in violations)
+    else:
+        lines.append("invariants: all held")
+    return "\n".join(lines)

@@ -8,7 +8,9 @@ Subcommands:
 * ``tables``        -- regenerate a paper table/figure (table2, table3,
   fig5, fig6);
 * ``sizing``        -- the Section 4.3 frequency/size envelopes;
-* ``experiment``    -- run one of the E7-E9 protocol scenarios.
+* ``experiment``    -- run one of the E7-E9 protocol scenarios;
+* ``chaos``         -- run a fault-injection scenario and check the
+  robustness invariants (exit status 1 if any is violated).
 
 Examples::
 
@@ -17,6 +19,8 @@ Examples::
     python -m repro tables table3
     python -m repro sizing retransmission --loss 0.05
     python -m repro experiment cc-division --loss 0.02 --total 500000
+    python -m repro chaos blackout --seed 1
+    python -m repro chaos all
 """
 
 from __future__ import annotations
@@ -178,6 +182,31 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- chaos ----------------------------------------------------------------------
+
+_CHAOS_PLANS = ("crash-restart", "blackout", "corruption", "duplication",
+                "burst-loss", "delay-spike")
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import format_result, run_plan
+
+    plans = _CHAOS_PLANS if args.which == "all" else (args.which,)
+    failures = 0
+    for name in plans:
+        result = run_plan(name, seed=args.seed, total_bytes=args.total)
+        print(format_result(result))
+        if len(plans) > 1:
+            print("-" * 60)
+        if not result.ok:
+            failures += 1
+    if failures:
+        print(f"error: {failures} of {len(plans)} chaos plans violated "
+              f"invariants", file=sys.stderr)
+        return 1
+    return 0
+
+
 # -- parser -----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -234,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--no-sidecar", action="store_true",
                             help="run the baseline without assistance")
     experiment.set_defaults(func=cmd_experiment)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault-injection scenario (robustness)")
+    chaos.add_argument("which", choices=_CHAOS_PLANS + ("all",))
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--total", type=int, default=1460 * 600,
+                       help="transfer size in bytes")
+    chaos.set_defaults(func=cmd_chaos)
 
     headroom = sub.add_parser(
         "headroom", help="threshold survival vs loss burstiness (E11)")

@@ -13,6 +13,18 @@ Public surface:
 """
 
 from repro.netsim.core import EventHandle, Simulator
+from repro.netsim.faults import (
+    Blackout,
+    BurstLoss,
+    CompositeFault,
+    Corruption,
+    DelaySpike,
+    Duplication,
+    FaultDecision,
+    FaultInjector,
+    FaultInjectorStats,
+    SIDECAR_KINDS,
+)
 from repro.netsim.link import Link, LinkStats
 from repro.netsim.loss import (
     BernoulliLoss,
@@ -53,6 +65,16 @@ __all__ = [
     "build_path",
     "build_parallel_paths",
     "JitterLink",
+    "FaultInjector",
+    "FaultInjectorStats",
+    "FaultDecision",
+    "Blackout",
+    "BurstLoss",
+    "CompositeFault",
+    "Corruption",
+    "DelaySpike",
+    "Duplication",
+    "SIDECAR_KINDS",
     "FlowMonitor",
     "PacketCounter",
     "EventTrace",

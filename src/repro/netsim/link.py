@@ -7,18 +7,26 @@ configured :class:`~repro.netsim.loss.LossModel`) is applied on the wire,
 i.e. after a packet has consumed its serialization time -- matching a
 noisy physical hop rather than an AQM.
 
+A link optionally carries a :class:`~repro.netsim.faults.FaultInjector`
+(``faults=``), consulted after the loss model for each packet that
+finished serialization: injected drops, corruption, duplication, and
+delay spikes are applied here and counted separately from natural loss.
+
 Per-link statistics feed the experiment reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import SimulationError
 from repro.netsim.core import Simulator
 from repro.netsim.loss import LossModel, NoLoss
 from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses errors only)
+    from repro.netsim.faults import FaultInjector
 
 
 @dataclass
@@ -29,6 +37,9 @@ class LinkStats:
     delivered: int = 0
     dropped_queue: int = 0
     dropped_loss: int = 0
+    dropped_fault: int = 0
+    corrupted_fault: int = 0
+    duplicated_fault: int = 0
     bytes_delivered: int = 0
     busy_seconds: float = 0.0
     ce_marked: int = 0
@@ -48,7 +59,8 @@ class Link:
                  queue_packets: int = 256,
                  loss_model: LossModel | None = None,
                  name: str = "link",
-                 ecn_threshold: int | None = None) -> None:
+                 ecn_threshold: int | None = None,
+                 faults: "FaultInjector | None" = None) -> None:
         if bandwidth_bps <= 0:
             raise SimulationError(f"bandwidth must be positive, got {bandwidth_bps}")
         if delay_s < 0:
@@ -68,6 +80,8 @@ class Link:
         #: Mark CE on packets that arrive to a queue at or above this
         #: depth (a minimal AQM); None disables marking.
         self.ecn_threshold = ecn_threshold
+        #: Optional fault injector (chaos harness); None = no faults.
+        self.faults = faults
         self.stats = LinkStats()
         self._queue: list[Packet] = []
         self._transmitting = False
@@ -121,13 +135,32 @@ class Link:
         if self.loss_model.should_drop(packet):
             self.stats.dropped_loss += 1
         else:
-            self.stats.delivered += 1
-            self.stats.bytes_delivered += packet.size_bytes
-            self.sim.schedule(self._propagation_delay(), self.deliver, packet)
+            self._propagate(packet)
         if self._queue:
             self._start_next_transmission()
         else:
             self._transmitting = False
+
+    def _propagate(self, packet: Packet) -> None:
+        """Consult the fault injector, then schedule delivery."""
+        delay = self._propagation_delay()
+        copies = 1
+        if self.faults is not None:
+            decision = self.faults.on_transmit(packet, self.sim.now)
+            if decision.drop or decision.copies == 0:
+                self.stats.dropped_fault += 1
+                return
+            if decision.replacement is not None:
+                packet = decision.replacement
+                self.stats.corrupted_fault += 1
+            delay += decision.extra_delay
+            copies = decision.copies
+            if copies > 1:
+                self.stats.duplicated_fault += copies - 1
+        for _ in range(copies):
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += packet.size_bytes
+            self.sim.schedule(delay, self.deliver, packet)
 
     def __repr__(self) -> str:
         return (f"Link({self.name}, {self.bandwidth_bps / 1e6:.1f} Mbps, "

@@ -15,6 +15,7 @@ from typing import Sequence
 
 from repro.errors import SimulationError
 from repro.netsim.core import Simulator
+from repro.netsim.faults import FaultInjector
 from repro.netsim.link import Link
 from repro.netsim.loss import LossModel, NoLoss
 from repro.netsim.node import Node
@@ -40,6 +41,9 @@ class HopSpec:
     #: Queue depth at which the hop CE-marks packets (both directions);
     #: None disables ECN marking.
     ecn_threshold: int | None = None
+    #: Chaos-harness fault injectors, one per direction; None = no faults.
+    faults_up: FaultInjector | None = None
+    faults_down: FaultInjector | None = None
 
     def down_bandwidth(self) -> float:
         return self.bandwidth_down_bps if self.bandwidth_down_bps is not None \
@@ -99,13 +103,15 @@ def build_path(sim: Simulator, nodes: Sequence[Node],
                   queue_packets=hop.queue_packets,
                   loss_model=hop.loss_up if hop.loss_up is not None else NoLoss(),
                   name=f"{left.name}->{right.name}",
-                  ecn_threshold=hop.ecn_threshold)
+                  ecn_threshold=hop.ecn_threshold,
+                  faults=hop.faults_up)
         down = Link(sim, hop.down_bandwidth(), hop.down_delay(), left.receive,
                     queue_packets=hop.queue_packets,
                     loss_model=hop.loss_down if hop.loss_down is not None
                     else NoLoss(),
                     name=f"{right.name}->{left.name}",
-                    ecn_threshold=hop.ecn_threshold)
+                    ecn_threshold=hop.ecn_threshold,
+                    faults=hop.faults_down)
         left.attach_link(right.name, up)
         right.attach_link(left.name, down)
         topology.links_up.append(up)

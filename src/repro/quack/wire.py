@@ -11,9 +11,20 @@ offset    size   field
 0         2      magic ``b"qK"``
 2         1      version (currently 1)
 3         1      scheme (:class:`~repro.quack.base.QuackScheme`)
-4         1      flags (bit 0: a count field is present)
+4         1      flags (bit 0: a count field is present;
+                 bit 1: a trailing CRC-32 protects the frame)
 5..       --     scheme-specific body
+-4..      4      CRC-32 over everything before it (flags bit 1 only)
 ========  =====  ==========================================
+
+The checksum exists for the *sidecar channel*: sidecar datagrams cross
+real networks and get bit-flipped, and without a checksum a flipped
+power-sum byte below the field modulus parses into a structurally valid
+quACK that later fails (or worse, mis-decodes) as an
+``InconsistentQuackError``.  With the checksum, corruption is classified
+where it belongs -- as a :class:`~repro.errors.WireFormatError` at parse
+time.  Bare frames (no checksum bit) remain valid for storage and for
+contexts with their own integrity layer.
 
 Power-sum body: ``bits`` (1), ``threshold`` (2, big-endian), ``count_bits``
 (1), the wrapped count (``ceil(c/8)`` bytes), then ``t`` power sums of
@@ -28,6 +39,7 @@ Hash body: ``bits`` (1), ``count_bits`` (1), count, 32-byte SHA-256 digest.
 from __future__ import annotations
 
 import struct
+import zlib
 
 from repro.errors import WireFormatError
 from repro.quack.base import Quack, QuackScheme
@@ -37,21 +49,33 @@ from repro.quack.strawman import EchoQuack, HashQuack
 MAGIC = b"qK"
 VERSION = 1
 _FLAG_HAS_COUNT = 0x01
+_FLAG_HAS_CRC = 0x02
+CRC_BYTES = 4
 
 
 def _bytes_for_bits(bits: int) -> int:
     return (bits + 7) // 8
 
 
-def encode(quack: Quack, include_count: bool = True) -> bytes:
-    """Serialize any quACK into a self-describing frame."""
+def encode(quack: Quack, include_count: bool = True,
+           include_checksum: bool = False) -> bytes:
+    """Serialize any quACK into a self-describing frame.
+
+    ``include_checksum`` appends a CRC-32 (and sets flags bit 1) so the
+    deserializer can reject bit-flipped frames outright; the sidecar
+    protocol layer always asks for it.
+    """
     if isinstance(quack, PowerSumQuack):
-        return _encode_power_sum(quack, include_count)
-    if isinstance(quack, EchoQuack):
-        return _encode_echo(quack)
-    if isinstance(quack, HashQuack):
-        return _encode_hash(quack)
-    raise WireFormatError(f"cannot serialize {type(quack).__name__}")
+        frame = _encode_power_sum(quack, include_count, include_checksum)
+    elif isinstance(quack, EchoQuack):
+        frame = _encode_echo(quack, include_checksum)
+    elif isinstance(quack, HashQuack):
+        frame = _encode_hash(quack, include_checksum)
+    else:
+        raise WireFormatError(f"cannot serialize {type(quack).__name__}")
+    if include_checksum:
+        frame += struct.pack(">I", zlib.crc32(frame))
+    return frame
 
 
 def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
@@ -59,6 +83,8 @@ def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
 
     ``implicit_count`` supplies the packet count for frames serialized
     without one (the ACK-reduction optimization); it is ignored otherwise.
+    Every malformed input -- truncated, zero-length, bit-flipped -- raises
+    :class:`~repro.errors.WireFormatError`, never anything else.
     """
     if len(frame) < 5:
         raise WireFormatError(f"frame too short: {len(frame)} bytes")
@@ -71,19 +97,40 @@ def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
         scheme = QuackScheme(scheme_raw)
     except ValueError as exc:
         raise WireFormatError(f"unknown scheme {scheme_raw}") from exc
+    if flags & _FLAG_HAS_CRC:
+        if len(frame) < 5 + CRC_BYTES:
+            raise WireFormatError("frame too short to hold its checksum")
+        (stated,) = struct.unpack(">I", frame[-CRC_BYTES:])
+        computed = zlib.crc32(frame[:-CRC_BYTES])
+        if stated != computed:
+            raise WireFormatError(
+                f"checksum mismatch: frame says {stated:#010x}, "
+                f"bytes hash to {computed:#010x} (corrupt frame)"
+            )
+        frame = frame[:-CRC_BYTES]
     body = frame[5:]
     has_count = bool(flags & _FLAG_HAS_COUNT)
-    if scheme is QuackScheme.POWER_SUM:
-        return _decode_power_sum(body, has_count, implicit_count)
-    if scheme is QuackScheme.ECHO:
-        return _decode_echo(body)
-    return _decode_hash(body)
+    try:
+        if scheme is QuackScheme.POWER_SUM:
+            return _decode_power_sum(body, has_count, implicit_count)
+        if scheme is QuackScheme.ECHO:
+            return _decode_echo(body)
+        return _decode_hash(body)
+    except WireFormatError:
+        raise
+    except (ValueError, OverflowError, struct.error) as exc:
+        # Structurally plausible frames can still carry parameters no
+        # quACK accepts (bits=0, absurd widths); network input must
+        # surface as a wire error, not a constructor exception.
+        raise WireFormatError(f"unusable frame parameters: {exc}") from exc
 
 
 # -- power sum ----------------------------------------------------------------
 
-def _encode_power_sum(quack: PowerSumQuack, include_count: bool) -> bytes:
-    flags = _FLAG_HAS_COUNT if include_count else 0
+def _encode_power_sum(quack: PowerSumQuack, include_count: bool,
+                      include_checksum: bool = False) -> bytes:
+    flags = (_FLAG_HAS_COUNT if include_count else 0) \
+        | (_FLAG_HAS_CRC if include_checksum else 0)
     parts = [MAGIC, bytes((VERSION, QuackScheme.POWER_SUM, flags))]
     parts.append(struct.pack(">BHB", quack.bits, quack.threshold,
                              quack.count_bits))
@@ -137,9 +184,10 @@ def _decode_power_sum(body: bytes, has_count: bool,
 
 # -- echo -----------------------------------------------------------------------
 
-def _encode_echo(quack: EchoQuack) -> bytes:
+def _encode_echo(quack: EchoQuack, include_checksum: bool = False) -> bytes:
     ids = sorted(quack.received.elements())
-    parts = [MAGIC, bytes((VERSION, QuackScheme.ECHO, _FLAG_HAS_COUNT)),
+    flags = _FLAG_HAS_COUNT | (_FLAG_HAS_CRC if include_checksum else 0)
+    parts = [MAGIC, bytes((VERSION, QuackScheme.ECHO, flags)),
              struct.pack(">BI", quack.bits, len(ids))]
     width = _bytes_for_bits(quack.bits)
     parts.extend(int(i).to_bytes(width, "big") for i in ids)
@@ -163,8 +211,9 @@ def _decode_echo(body: bytes) -> EchoQuack:
 
 # -- hash ------------------------------------------------------------------------
 
-def _encode_hash(quack: HashQuack) -> bytes:
-    parts = [MAGIC, bytes((VERSION, QuackScheme.HASH, _FLAG_HAS_COUNT)),
+def _encode_hash(quack: HashQuack, include_checksum: bool = False) -> bytes:
+    flags = _FLAG_HAS_COUNT | (_FLAG_HAS_CRC if include_checksum else 0)
+    parts = [MAGIC, bytes((VERSION, QuackScheme.HASH, flags)),
              struct.pack(">BB", quack.bits, quack.count_bits),
              quack.count.to_bytes(_bytes_for_bits(quack.count_bits), "big"),
              quack.digest()]

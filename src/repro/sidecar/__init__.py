@@ -15,7 +15,8 @@ plus the shared session machinery:
   sender-side quACK state of Sections 3.2-3.3;
 * frequency policies (Section 4.3) in :mod:`repro.sidecar.frequency`;
 * wire messages in :mod:`repro.sidecar.protocol`;
-* host/proxy agents in :mod:`repro.sidecar.agents`.
+* host/proxy agents in :mod:`repro.sidecar.agents`;
+* the graceful-degradation ladder in :mod:`repro.sidecar.health`.
 """
 
 from repro.sidecar.ack_reduction import AckReductionResult, run_ack_reduction
@@ -38,11 +39,20 @@ from repro.sidecar.frequency import (
     IntervalFrequency,
     PacketCountFrequency,
 )
+from repro.sidecar.health import (
+    HealthConfig,
+    HealthMonitor,
+    HealthState,
+    HealthTransition,
+)
 from repro.sidecar.protocol import (
     ConfigMessage,
+    CorruptFrame,
     QuackMessage,
     ResetMessage,
     config_packet,
+    decode_control,
+    encode_control,
     quack_packet,
     reset_packet,
 )
@@ -64,9 +74,16 @@ __all__ = [
     "QuackMessage",
     "ConfigMessage",
     "ResetMessage",
+    "CorruptFrame",
     "quack_packet",
     "config_packet",
     "reset_packet",
+    "encode_control",
+    "decode_control",
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthState",
+    "HealthTransition",
     "HostEmitterAgent",
     "ServerSidecar",
     "ProxyEmitterTap",

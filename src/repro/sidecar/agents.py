@@ -15,21 +15,34 @@ Three reusable agents implement the roles of Table 1:
 
 Protocol-specific proxies (the pacing proxy of congestion-control
 division and the buffering retransmitter) live in their own modules.
+
+Resilience: a sidecar is strictly optional assistance, so every agent
+here must survive a hostile channel -- corrupted datagrams are counted
+and dropped (:class:`~repro.sidecar.protocol.CorruptFrame` /
+``WireFormatError``), stale resets are ignored, a crashed-and-restarted
+emitter is detected by the server through count regression and healed by
+an implicit reset, lost reset handshakes are retried with exponential
+backoff, and a :class:`~repro.sidecar.health.HealthMonitor` (opt-in via
+``health=HealthConfig()``) walks the sender down the degradation ladder
+to pure end-to-end behavior when the channel goes bad.  Every agent
+exposes its fault counters through ``fault_counters()``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import QuackError
-from repro.netsim.core import Simulator
+from repro.errors import QuackError, WireFormatError
+from repro.netsim.core import EventHandle, Simulator
 from repro.netsim.node import Host, Router
 from repro.netsim.packet import Packet, PacketKind
 from repro.quack.base import DecodeStatus
 from repro.sidecar.consumer import QuackConsumer
 from repro.sidecar.emitter import QuackEmitter
 from repro.sidecar.frequency import FrequencyPolicy
+from repro.sidecar.health import HealthConfig, HealthMonitor, HealthState
 from repro.sidecar.protocol import (
+    CorruptFrame,
     QuackMessage,
     ResetMessage,
     quack_packet,
@@ -41,7 +54,64 @@ from repro.transport.connection import SenderConnection, SentPacketRecord
 DEFAULT_THRESHOLD = 20
 
 
-class HostEmitterAgent:
+class _EmitterMixin:
+    """Shared emitter-side plumbing: resets, restarts, fault counters."""
+
+    # Subclasses provide: sim, flow_id, threshold, bits, policy, emitter,
+    # epoch, resets_applied plain attributes.
+
+    def _init_fault_state(self) -> None:
+        self.stale_resets = 0
+        self.corrupt_frames = 0
+        self.restarts = 0
+
+    def _apply_reset(self, epoch: int) -> None:
+        if epoch < self.epoch:
+            # Out-of-order delivery of an old handshake: ignore silently.
+            self.stale_resets += 1
+            return
+        if epoch == self.epoch:
+            return  # duplicate of the current handshake (idempotent)
+        self.epoch = epoch
+        self.resets_applied += 1
+        self.emitter = QuackEmitter(self.threshold, self.bits,
+                                    policy=self.policy)
+
+    def crash_restart(self) -> None:
+        """Simulate a middlebox crash/restart: all volatile state is lost.
+
+        The accumulator and the epoch number vanish; the peer must notice
+        (count regression or stale-epoch snapshots) and re-run the reset
+        handshake.  Used by the chaos harness.
+        """
+        self.restarts += 1
+        self.epoch = 0
+        self.emitter = QuackEmitter(self.threshold, self.bits,
+                                    policy=self.policy)
+
+    def _note_control(self, message) -> ResetMessage | None:
+        """Classify a CONTROL payload; returns a reset to apply, if any."""
+        if isinstance(message, CorruptFrame):
+            if not message.flow_id or message.flow_id == self.flow_id:
+                self.corrupt_frames += 1
+            return None
+        if isinstance(message, ResetMessage) \
+                and message.flow_id == self.flow_id:
+            return message
+        return None
+
+    def fault_counters(self) -> dict[str, int]:
+        """The agent's resilience counters (the chaos stats surface)."""
+        return {
+            "epoch": self.epoch,
+            "resets_applied": self.resets_applied,
+            "stale_resets": self.stale_resets,
+            "corrupt_frames": self.corrupt_frames,
+            "restarts": self.restarts,
+        }
+
+
+class HostEmitterAgent(_EmitterMixin):
     """Client-side quACK library: observe arrivals, emit quACKs to a peer."""
 
     def __init__(self, sim: Simulator, host: Host, peer: str, flow_id: str,
@@ -58,6 +128,7 @@ class HostEmitterAgent:
         self.quacks_sent = 0
         self.epoch = 0
         self.resets_applied = 0
+        self._init_fault_state()
         host.add_handler(PacketKind.DATA, self._observe)
         host.add_handler(PacketKind.CONTROL, self._on_control)
         interval = policy.interval_hint()
@@ -72,18 +143,9 @@ class HostEmitterAgent:
             self._send(snapshot)
 
     def _on_control(self, packet: Packet) -> None:
-        message = packet.payload
-        if isinstance(message, ResetMessage) \
-                and message.flow_id == self.flow_id:
-            self._apply_reset(message.epoch)
-
-    def _apply_reset(self, epoch: int) -> None:
-        if epoch <= self.epoch:
-            return  # stale or duplicate reset
-        self.epoch = epoch
-        self.resets_applied += 1
-        self.emitter = QuackEmitter(self.threshold, self.bits,
-                                    policy=self.policy)
+        reset = self._note_control(packet.payload)
+        if reset is not None:
+            self._apply_reset(reset.epoch)
 
     def _tick(self, interval: float) -> None:
         if self.emitter.pending_packets:
@@ -101,10 +163,15 @@ class HostEmitterAgent:
 class ServerSidecarStats:
     quacks_received: int = 0
     decode_failures: int = 0
+    wire_errors: int = 0
     receipts_applied: int = 0
     losses_applied: int = 0
+    receipts_suppressed: int = 0
+    losses_suppressed: int = 0
     indeterminate_seen: int = 0
     resets_initiated: int = 0
+    reset_retries: int = 0
+    restarts_detected: int = 0
     stale_epoch_quacks: int = 0
 
 
@@ -119,8 +186,29 @@ class ServerSidecar:
     emitter via :class:`~repro.sidecar.protocol.ResetMessage`, waits
     another ``settle_time`` (so nothing sent pre-reset can be counted in
     the new epoch) and resumes.  QuACKs from older epochs are discarded
-    and answered with a repeat reset, which makes the handshake robust to
-    lost control datagrams.
+    and answered with a repeat reset, and the announcement itself is
+    retried on a timer with exponential backoff (initial
+    ``2 * settle_time``, doubling to ``reset_retry_cap``) until a
+    snapshot of the new epoch arrives -- so a lost ResetMessage can delay
+    an epoch, never deadlock it.
+
+    Two further defenses run regardless of the reset protocol:
+
+    * **corruption** -- sidecar frames carry checksums, so a mangled
+      datagram surfaces as :class:`~repro.errors.WireFormatError`, is
+      counted in ``stats.wire_errors``, and is dropped without touching
+      session state (it does *not* count toward the reset trigger: a
+      reset cannot fix a noisy channel);
+    * **emitter restart** -- a same-epoch snapshot whose count regressed
+      by more than ``restart_margin`` means the middlebox crashed and
+      came back empty; the sidecar counts it in
+      ``stats.restarts_detected`` and heals with an implicit reset.
+
+    Passing ``health=HealthConfig()`` additionally arms the
+    :class:`~repro.sidecar.health.HealthMonitor` degradation ladder:
+    DEGRADED withholds loss declarations, E2E_ONLY suspends all sidecar
+    signals (returning congestion control to the end-to-end ACKs if it
+    had been divided), and recovery runs through a probation window.
     """
 
     def __init__(self, sim: Simulator, sender: SenderConnection,
@@ -128,21 +216,62 @@ class ServerSidecar:
                  grace: int = 1, congestive_loss: bool = True,
                  apply_losses: bool = True,
                  reset_after_failures: int | None = None,
-                 settle_time: float = 0.25) -> None:
+                 settle_time: float = 0.25,
+                 reset_retry_cap: float = 2.0,
+                 restart_margin: int | None = None,
+                 health: HealthConfig | None = None) -> None:
         self.sim = sim
         self.sender = sender
         self.congestive_loss = congestive_loss
         self.apply_losses = apply_losses
         self.reset_after_failures = reset_after_failures
         self.settle_time = settle_time
+        self.reset_retry_cap = reset_retry_cap
+        #: Count regression below this is written off as snapshot
+        #: reordering; at or above it, the emitter must have restarted.
+        self.restart_margin = restart_margin if restart_margin is not None \
+            else 4 * threshold
         self.consumer = QuackConsumer(threshold, bits, grace=grace)
         self.stats = ServerSidecarStats()
         self.epoch = 0
         self._consecutive_failures = 0
         self._settling = False
         self._peer: str | None = None
+        self._last_emitter_count: int | None = None
+        self._epoch_confirmed = True
+        self._retry_handle: EventHandle | None = None
+        self._retry_delay = 0.0
+        #: Whether congestion control was divided at construction time
+        #: (the E2E_ONLY fallback hands it back to the e2e ACKs).
+        self._cc_divided = not sender.cc_from_acks
+        self.monitor = HealthMonitor(health) if health is not None else None
+        if self.monitor is not None:
+            interval = self.monitor.config.stale_after / 2
+            sim.schedule(interval, self._check_staleness, interval)
         sender.add_send_listener(self._on_send)
         sender.host.add_handler(PacketKind.QUACK, self._on_quack_packet)
+
+    @property
+    def health_state(self) -> HealthState:
+        """Current rung of the degradation ladder (HEALTHY when unarmed)."""
+        return self.monitor.state if self.monitor is not None \
+            else HealthState.HEALTHY
+
+    def fault_counters(self) -> dict[str, int | str]:
+        """The agent's resilience counters (the chaos stats surface)."""
+        counters: dict[str, int | str] = {
+            "epoch": self.epoch,
+            "decode_failures": self.stats.decode_failures,
+            "wire_errors": self.stats.wire_errors,
+            "stale_epoch_quacks": self.stats.stale_epoch_quacks,
+            "resets_initiated": self.stats.resets_initiated,
+            "reset_retries": self.stats.reset_retries,
+            "restarts_detected": self.stats.restarts_detected,
+            "receipts_suppressed": self.stats.receipts_suppressed,
+            "losses_suppressed": self.stats.losses_suppressed,
+            "health": self.health_state.value,
+        }
+        return counters
 
     def _on_send(self, record: SentPacketRecord) -> None:
         if self._settling:
@@ -163,34 +292,85 @@ class ServerSidecar:
                 # The emitter missed the reset; repeat it.
                 self._send_reset()
             return
+        self._confirm_epoch()
         if self._settling:
             return  # snapshots of the abandoned state
         try:
             quack = message.quack()
+        except WireFormatError:
+            # Corruption, positively identified by the frame checksum.
+            # Drop the datagram; the session state is untouched, so no
+            # reset is warranted -- but the channel looks unhealthy.
+            self.stats.wire_errors += 1
+            self.stats.decode_failures += 1
+            self._note_health_failure("corrupt frame")
+            return
         except (QuackError, TypeError):
-            # Corrupt or alien frame: sidecar traffic is best-effort, so
-            # drop it and wait for the next cumulative snapshot.
+            # Undecodable for structural reasons (alien scheme, wrong
+            # type): treat like decode divergence.
             self._register_failure()
+            return
+        if self._detect_restart(quack.count):
             return
         feedback = self.consumer.on_quack(quack, self.sim.now)
         if not feedback.ok:
             self._register_failure()
             return
         self._consecutive_failures = 0
+        self._last_emitter_count = quack.count
+        if self.monitor is not None:
+            self.monitor.on_good_quack(self.sim.now)
+            self._sync_health()
         self.stats.indeterminate_seen += len(feedback.indeterminate)
+        allow_receipts = self.monitor.allow_receipts \
+            if self.monitor is not None else True
+        allow_losses = self.monitor.allow_losses \
+            if self.monitor is not None else True
         if feedback.received:
-            self.stats.receipts_applied += len(feedback.received)
-            self.sender.sidecar_receipt(feedback.received)
+            if allow_receipts:
+                self.stats.receipts_applied += len(feedback.received)
+                self.sender.sidecar_receipt(feedback.received)
+            else:
+                self.stats.receipts_suppressed += len(feedback.received)
         if feedback.lost and self.apply_losses:
-            self.stats.losses_applied += len(feedback.lost)
-            self.sender.sidecar_loss(feedback.lost,
-                                     congestive=self.congestive_loss)
+            if allow_losses:
+                self.stats.losses_applied += len(feedback.lost)
+                self.sender.sidecar_loss(feedback.lost,
+                                         congestive=self.congestive_loss)
+            else:
+                self.stats.losses_suppressed += len(feedback.lost)
+
+    # -- restart detection -------------------------------------------------------
+
+    def _detect_restart(self, count: int) -> bool:
+        """True if this same-epoch snapshot reveals an emitter restart.
+
+        The emitter's count is cumulative modulo ``2**count_bits``: it
+        only ever moves forward (small reorderings aside).  A regression
+        of ``restart_margin`` or more means the accumulator was wiped --
+        the middlebox crashed and restarted -- so the cumulative states
+        can never re-converge without a reset.
+        """
+        if self._last_emitter_count is None:
+            return False
+        modulus = 1 << self.consumer.mine.count_bits
+        regression = (self._last_emitter_count - count) % modulus
+        # Forward movement shows up as a huge "regression" (more than
+        # half the counter space back); ignore it.
+        if not self.restart_margin <= regression < modulus // 2:
+            return False
+        self.stats.restarts_detected += 1
+        self._note_health_failure("emitter restart")
+        if not self._settling:
+            self._begin_reset()
+        return True
 
     # -- reset protocol (Section 3.3) -------------------------------------------
 
     def _register_failure(self) -> None:
         self.stats.decode_failures += 1
         self._consecutive_failures += 1
+        self._note_health_failure("decode failure")
         if (self.reset_after_failures is not None
                 and not self._settling
                 and self._consecutive_failures >= self.reset_after_failures):
@@ -199,6 +379,7 @@ class ServerSidecar:
     def _begin_reset(self) -> None:
         self.stats.resets_initiated += 1
         self._settling = True
+        self._cancel_retry()
         self.sender.pause()
         self.sim.schedule(self.settle_time, self._complete_reset)
 
@@ -207,7 +388,10 @@ class ServerSidecar:
         self.consumer.reset()
         self.epoch += 1
         self._consecutive_failures = 0
+        self._last_emitter_count = None
+        self._epoch_confirmed = False
         self._send_reset()
+        self._arm_retry(initial=True)
         self.sim.schedule(self.settle_time, self._resume)
 
     def _resume(self) -> None:
@@ -222,8 +406,67 @@ class ServerSidecar:
             ResetMessage(flow_id=self.sender.flow_id, epoch=self.epoch),
             self.sim.now))
 
+    # -- reset retry (lost-handshake recovery) -----------------------------------
 
-class ProxyEmitterTap:
+    def _confirm_epoch(self) -> None:
+        """A snapshot of the current epoch arrived: the emitter heard us."""
+        self._epoch_confirmed = True
+        self._cancel_retry()
+
+    def _arm_retry(self, initial: bool = False) -> None:
+        if initial:
+            self._retry_delay = 2 * self.settle_time
+        if self._retry_handle is not None:
+            self._retry_handle.cancel()
+        self._retry_handle = self.sim.schedule(self._retry_delay,
+                                               self._retry_reset)
+
+    def _cancel_retry(self) -> None:
+        if self._retry_handle is not None:
+            self._retry_handle.cancel()
+            self._retry_handle = None
+
+    def _retry_reset(self) -> None:
+        self._retry_handle = None
+        if self._epoch_confirmed:
+            return
+        self.stats.reset_retries += 1
+        self._send_reset()
+        self._retry_delay = min(2 * self._retry_delay, self.reset_retry_cap)
+        self._arm_retry()
+
+    # -- health ladder ------------------------------------------------------------
+
+    def _note_health_failure(self, reason: str) -> None:
+        if self.monitor is None:
+            return
+        self.monitor.on_failure(self.sim.now, reason)
+        self._sync_health()
+
+    def _check_staleness(self, interval: float) -> None:
+        if (self.monitor is not None and not self._settling
+                and not self.monitor.e2e_only
+                and self.monitor.is_stale(self.sim.now)):
+            self.monitor.on_stale(self.sim.now)
+            self._sync_health()
+        self.sim.schedule(interval, self._check_staleness, interval)
+
+    def _sync_health(self) -> None:
+        """Apply the monitor's verdict to the transport.
+
+        Congestion-control division is only safe while sidecar receipts
+        actually flow: in E2E_ONLY and RECOVERING the end-to-end ACKs get
+        the congestion controller back, and HEALTHY returns it to the
+        sidecar.
+        """
+        if self.monitor is None or not self._cc_divided:
+            return
+        state = self.monitor.state
+        divided = state in (HealthState.HEALTHY, HealthState.DEGRADED)
+        self.sender.cc_from_acks = not divided
+
+
+class ProxyEmitterTap(_EmitterMixin):
     """Proxy sidecar that quACKs forwarded DATA packets to the server.
 
     Attach to a router with ``router.add_tap(tap.observe)``.  Observes
@@ -247,6 +490,7 @@ class ProxyEmitterTap:
         self.quacks_sent = 0
         self.epoch = 0
         self.resets_applied = 0
+        self._init_fault_state()
         router.add_tap(self.observe)
         interval = policy.interval_hint()
         if interval is not None:
@@ -254,11 +498,10 @@ class ProxyEmitterTap:
 
     def observe(self, packet: Packet) -> None:
         if packet.dst == self.router.name:
-            message = packet.payload
-            if (packet.kind is PacketKind.CONTROL
-                    and isinstance(message, ResetMessage)
-                    and message.flow_id == self.flow_id):
-                self._apply_reset(message.epoch)
+            if packet.kind is PacketKind.CONTROL:
+                reset = self._note_control(packet.payload)
+                if reset is not None:
+                    self._apply_reset(reset.epoch)
             return
         if (packet.kind is not PacketKind.DATA
                 or packet.dst != self.client
@@ -268,14 +511,6 @@ class ProxyEmitterTap:
         snapshot = self.emitter.observe(packet.identifier, self.sim.now)
         if snapshot is not None:
             self._send(snapshot)
-
-    def _apply_reset(self, epoch: int) -> None:
-        if epoch <= self.epoch:
-            return
-        self.epoch = epoch
-        self.resets_applied += 1
-        self.emitter = QuackEmitter(self.threshold, self.bits,
-                                    policy=self.policy)
 
     def _tick(self, interval: float) -> None:
         if self.emitter.pending_packets:

@@ -1,0 +1,177 @@
+"""Sender-side sidecar health: the graceful-degradation ladder.
+
+The paper's deployment contract is that a sidecar is *strictly optional*
+assistance: "the underlying protocol remains unmodified on the wire and
+free to evolve" (Section 1), so a crashed, lossy, or corrupting sidecar
+must never hurt end-to-end correctness.  This module gives the sender a
+small state machine that enforces the contract actively instead of by
+accident:
+
+``HEALTHY``
+    Full assistance: quACK receipts move the window, decoded losses
+    trigger early retransmission/CC response.
+``DEGRADED``
+    The channel is suspect (a few consecutive decode failures).  Receipts
+    still credit the window, but loss *declarations* are withheld -- a
+    corrupted channel must not trigger spurious retransmissions or cwnd
+    cuts.
+``E2E_ONLY``
+    The channel is unusable (many failures, or no decodable quACK within
+    the staleness horizon -- e.g. a blackout).  All sidecar signals are
+    disabled and, if congestion control had been divided
+    (``cc_from_acks=False``), it is handed back to the end-to-end ACKs so
+    the transfer proceeds exactly as an unassisted connection.
+``RECOVERING``
+    Decodable quACKs are arriving again.  Signals stay off for a
+    probation window; a clean window re-enters ``HEALTHY``, any failure
+    falls straight back to ``E2E_ONLY``.
+
+The monitor is driven by its owner (:class:`~repro.sidecar.agents
+.ServerSidecar`): ``on_good_quack`` / ``on_failure`` per processed
+snapshot, ``on_stale`` from a staleness timer.  It never touches the
+transport itself; the owner reads :attr:`allow_receipts` /
+:attr:`allow_losses` / :attr:`e2e_only` and acts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class HealthState(Enum):
+    """Rungs of the degradation ladder, healthiest first."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    E2E_ONLY = "e2e_only"
+    RECOVERING = "recovering"
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One recorded state change (the audit trail chaos tests check)."""
+
+    time: float
+    old: HealthState
+    new: HealthState
+    reason: str
+
+
+@dataclass
+class HealthConfig:
+    """Thresholds of the ladder.
+
+    ``stale_after`` must comfortably exceed the emitter's quACK cadence
+    plus one path delay, or a healthy-but-quiet channel reads as dead;
+    ``probation`` trades re-entry speed against flapping.
+    """
+
+    degrade_after: int = 2       # consecutive failures -> DEGRADED
+    e2e_only_after: int = 5      # consecutive failures -> E2E_ONLY
+    stale_after: float = 1.0     # seconds without a decodable quACK
+    probation: float = 0.5       # clean seconds before RECOVERING -> HEALTHY
+
+    def __post_init__(self) -> None:
+        if self.degrade_after < 1 or self.e2e_only_after < self.degrade_after:
+            raise ValueError(
+                f"need 1 <= degrade_after <= e2e_only_after, got "
+                f"{self.degrade_after}, {self.e2e_only_after}")
+        if self.stale_after <= 0 or self.probation < 0:
+            raise ValueError("stale_after must be > 0 and probation >= 0")
+
+
+@dataclass
+class HealthStats:
+    degradations: int = 0
+    e2e_fallbacks: int = 0
+    recoveries: int = 0
+    transitions: list[HealthTransition] = field(default_factory=list)
+
+
+class HealthMonitor:
+    """Tracks sidecar-channel health; answers "may I apply this signal?"."""
+
+    def __init__(self, config: HealthConfig | None = None) -> None:
+        self.config = config if config is not None else HealthConfig()
+        self.state = HealthState.HEALTHY
+        self.stats = HealthStats()
+        self.consecutive_failures = 0
+        self.last_good_quack: float | None = None
+        self._probation_started: float | None = None
+
+    # -- signal gating --------------------------------------------------------
+
+    @property
+    def allow_receipts(self) -> bool:
+        """May quACK receipts credit the sender's window?"""
+        return self.state in (HealthState.HEALTHY, HealthState.DEGRADED)
+
+    @property
+    def allow_losses(self) -> bool:
+        """May quACK-decoded losses drive retransmission/CC?"""
+        return self.state is HealthState.HEALTHY
+
+    @property
+    def e2e_only(self) -> bool:
+        return self.state is HealthState.E2E_ONLY
+
+    # -- events ---------------------------------------------------------------
+
+    def on_good_quack(self, now: float) -> None:
+        """A snapshot of the current epoch decoded cleanly."""
+        self.consecutive_failures = 0
+        self.last_good_quack = now
+        if self.state in (HealthState.E2E_ONLY, HealthState.DEGRADED):
+            self._probation_started = now
+            self._transition(now, HealthState.RECOVERING, "decodable again")
+        elif self.state is HealthState.RECOVERING:
+            assert self._probation_started is not None
+            if now - self._probation_started >= self.config.probation:
+                self._probation_started = None
+                self.stats.recoveries += 1
+                self._transition(now, HealthState.HEALTHY, "probation served")
+
+    def on_failure(self, now: float, reason: str = "decode failure") -> None:
+        """A snapshot arrived but could not be used (corrupt/undecodable)."""
+        self.consecutive_failures += 1
+        if self.state is HealthState.RECOVERING:
+            self._probation_started = None
+            self._transition(now, HealthState.E2E_ONLY,
+                             f"{reason} during probation")
+        elif self.consecutive_failures >= self.config.e2e_only_after:
+            if self.state is not HealthState.E2E_ONLY:
+                self.stats.e2e_fallbacks += 1
+                self._transition(now, HealthState.E2E_ONLY,
+                                 f"{self.consecutive_failures} consecutive "
+                                 f"failures ({reason})")
+        elif self.consecutive_failures >= self.config.degrade_after:
+            if self.state is HealthState.HEALTHY:
+                self.stats.degradations += 1
+                self._transition(now, HealthState.DEGRADED,
+                                 f"{self.consecutive_failures} consecutive "
+                                 f"failures ({reason})")
+
+    def on_stale(self, now: float) -> None:
+        """The staleness timer found no decodable quACK within the horizon."""
+        if self.state is HealthState.E2E_ONLY:
+            return
+        if self.state is HealthState.RECOVERING:
+            self._probation_started = None
+        self.stats.e2e_fallbacks += 1
+        self._transition(now, HealthState.E2E_ONLY, "quACKs stale")
+
+    def is_stale(self, now: float) -> bool:
+        """No decodable quACK within the configured horizon?"""
+        reference = self.last_good_quack if self.last_good_quack is not None \
+            else 0.0
+        return now - reference >= self.config.stale_after
+
+    # -- internals ------------------------------------------------------------
+
+    def _transition(self, now: float, new: HealthState, reason: str) -> None:
+        if new is self.state:
+            return
+        self.stats.transitions.append(
+            HealthTransition(time=now, old=self.state, new=new, reason=reason))
+        self.state = new

@@ -11,18 +11,40 @@ Table 1:
   and communication frequency ("They can also configure sidecar protocol
   parameters with each other such as the communication frequency and
   properties of the quACK", Section 2).
+
+Every sidecar frame is checksummed.  Sidecar datagrams are plain UDP on
+real networks: they get bit-flipped, truncated, and replayed, and the
+sidecar must classify that corruption as a
+:class:`~repro.errors.WireFormatError` at the parse boundary rather than
+let mangled power sums masquerade as decode divergence.  QuACK snapshots
+ride the CRC-carrying quACK wire format; :class:`ResetMessage` and
+:class:`ConfigMessage` have their own tiny CRC-protected encoding
+(:func:`encode_control` / :func:`decode_control`).  A datagram whose
+bytes no longer parse is represented in the simulator as a
+:class:`CorruptFrame`, which every receiving agent counts and drops.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass
 
+from repro.errors import WireFormatError
 from repro.netsim.packet import Packet, PacketKind
 from repro.quack import wire
 from repro.quack.power_sum import PowerSumQuack
 
 #: IP/UDP overhead of a sidecar datagram.
 SIDECAR_HEADER_BYTES = 28
+
+#: Magic prefix of serialized control messages (reset/config).
+CONTROL_MAGIC = b"sC"
+CONTROL_VERSION = 1
+_CONTROL_RESET = 1
+_CONTROL_CONFIG = 2
+#: Sentinel for "field not present" in serialized ConfigMessages.
+_ABSENT = 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -72,11 +94,101 @@ class ConfigMessage:
     threshold: int | None = None
 
 
+@dataclass(frozen=True)
+class CorruptFrame:
+    """A sidecar datagram whose bytes no longer parse.
+
+    The fault-injection layer produces these when corruption mangles a
+    frame beyond its checksum; receivers count them (the per-agent
+    ``corrupt_frames`` fault counter) and drop them, exactly as a real
+    implementation drops datagrams that fail validation.
+    """
+
+    frame: bytes
+    flow_id: str = ""
+
+
+# -- control-message wire format ----------------------------------------------
+#
+# offset  size  field
+# 0       2     magic b"sC"
+# 2       1     version (1)
+# 3       1     type (1 = reset, 2 = config)
+# 4       2     flow-id length, big-endian, then the UTF-8 flow id
+# ..      --    type-specific fields (reset: epoch u32; config: every_n
+#               u32, interval_us u32, threshold u32 -- 0xFFFFFFFF = absent)
+# -4      4     CRC-32 over everything before it
+
+def encode_control(message: ResetMessage | ConfigMessage) -> bytes:
+    """Serialize a control message, CRC included."""
+    if not isinstance(message, (ResetMessage, ConfigMessage)):
+        raise WireFormatError(
+            f"cannot serialize control message {type(message).__name__}")
+    flow = message.flow_id.encode("utf-8")
+    head = [CONTROL_MAGIC, bytes((CONTROL_VERSION,))]
+    if isinstance(message, ResetMessage):
+        head.append(bytes((_CONTROL_RESET,)))
+        head.append(struct.pack(">H", len(flow)))
+        head.append(flow)
+        head.append(struct.pack(">I", message.epoch))
+    else:
+        head.append(bytes((_CONTROL_CONFIG,)))
+        head.append(struct.pack(">H", len(flow)))
+        head.append(flow)
+        every = _ABSENT if message.every_n is None else message.every_n
+        interval = _ABSENT if message.interval_s is None \
+            else int(message.interval_s * 1e6)
+        threshold = _ABSENT if message.threshold is None else message.threshold
+        head.append(struct.pack(">III", every, interval, threshold))
+    body = b"".join(head)
+    return body + struct.pack(">I", zlib.crc32(body))
+
+
+def decode_control(frame: bytes) -> ResetMessage | ConfigMessage:
+    """Parse control-message bytes; malformed input raises WireFormatError."""
+    if len(frame) < 10:
+        raise WireFormatError(f"control frame too short: {len(frame)} bytes")
+    (stated,) = struct.unpack(">I", frame[-4:])
+    if stated != zlib.crc32(frame[:-4]):
+        raise WireFormatError("control frame checksum mismatch")
+    if frame[:2] != CONTROL_MAGIC:
+        raise WireFormatError(f"bad control magic {frame[:2]!r}")
+    if frame[2] != CONTROL_VERSION:
+        raise WireFormatError(f"unsupported control version {frame[2]}")
+    kind = frame[3]
+    (flow_len,) = struct.unpack(">H", frame[4:6])
+    body = frame[6:-4]
+    if len(body) < flow_len:
+        raise WireFormatError("control frame truncated inside flow id")
+    try:
+        flow_id = body[:flow_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"undecodable flow id: {exc}") from exc
+    rest = body[flow_len:]
+    if kind == _CONTROL_RESET:
+        if len(rest) != 4:
+            raise WireFormatError(f"reset body is {len(rest)} bytes, expected 4")
+        (epoch,) = struct.unpack(">I", rest)
+        return ResetMessage(flow_id=flow_id, epoch=epoch)
+    if kind == _CONTROL_CONFIG:
+        if len(rest) != 12:
+            raise WireFormatError(f"config body is {len(rest)} bytes, expected 12")
+        every, interval, threshold = struct.unpack(">III", rest)
+        return ConfigMessage(
+            flow_id=flow_id,
+            every_n=None if every == _ABSENT else every,
+            interval_s=None if interval == _ABSENT else interval / 1e6,
+            threshold=None if threshold == _ABSENT else threshold,
+        )
+    raise WireFormatError(f"unknown control message type {kind}")
+
+
 def quack_packet(src: str, dst: str, quack: PowerSumQuack, flow_id: str,
                  now: float, include_count: bool = True,
                  epoch: int = 0) -> Packet:
     """Wrap a quACK snapshot in a datagram addressed to a sidecar peer."""
-    frame = wire.encode(quack, include_count=include_count)
+    frame = wire.encode(quack, include_count=include_count,
+                        include_checksum=True)
     return Packet(
         src=src, dst=dst,
         size_bytes=SIDECAR_HEADER_BYTES + len(frame),
@@ -91,7 +203,7 @@ def reset_packet(src: str, dst: str, message: ResetMessage,
     """Wrap a session reset in a datagram."""
     return Packet(
         src=src, dst=dst,
-        size_bytes=SIDECAR_HEADER_BYTES + 8,
+        size_bytes=SIDECAR_HEADER_BYTES + len(encode_control(message)),
         kind=PacketKind.CONTROL,
         identifier=None, flow_id=message.flow_id, created_at=now,
         payload=message,
@@ -103,7 +215,7 @@ def config_packet(src: str, dst: str, message: ConfigMessage,
     """Wrap a configuration update in a datagram."""
     return Packet(
         src=src, dst=dst,
-        size_bytes=SIDECAR_HEADER_BYTES + 16,
+        size_bytes=SIDECAR_HEADER_BYTES + len(encode_control(message)),
         kind=PacketKind.CONTROL,
         identifier=None, flow_id=message.flow_id, created_at=now,
         payload=message,

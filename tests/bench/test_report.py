@@ -38,7 +38,7 @@ class TestFullReport:
     def test_quick_report_assembles(self):
         progress_log = []
         options = ReportOptions(trials=2, protocol_bytes=120_000,
-                                headroom_trials=2)
+                                headroom_trials=2, include_chaos=False)
         text = full_report(options, progress=progress_log.append)
         assert text.startswith("# Sidecar / quACK reproduction report")
         assert "## Table 2" in text
@@ -49,8 +49,17 @@ class TestFullReport:
 
     def test_sections_can_be_disabled(self):
         options = ReportOptions(trials=2, include_protocols=False,
-                                include_headroom=False)
+                                include_headroom=False, include_chaos=False)
         text = full_report(options)
         assert "CC division (E7)" not in text
         assert "Threshold headroom" not in text
+        assert "Robustness under fault injection" not in text
         assert "## Table 2" in text
+
+    def test_chaos_section_reports_invariants(self):
+        options = ReportOptions(trials=2, include_protocols=False,
+                                include_headroom=False)
+        text = full_report(options)
+        assert "Robustness under fault injection" in text
+        assert "| blackout |" in text
+        assert "VIOLATED" not in text

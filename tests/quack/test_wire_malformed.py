@@ -1,0 +1,151 @@
+"""Deterministic malformed-input coverage for quack/wire.decode.
+
+Complements the hypothesis fuzz in ``test_wire_fuzz.py`` with the
+specific hostile shapes the sidecar channel produces in practice --
+truncation, zero-length datagrams, bit flips, checksum damage -- and
+pins the contract: every one raises :class:`WireFormatError` (never
+``IndexError``/``ValueError``/``struct.error``) and never yields a bogus
+quACK when the frame is checksummed.
+"""
+
+import zlib
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.quack import wire
+from repro.quack.power_sum import PowerSumQuack
+from repro.quack.strawman import EchoQuack, HashQuack
+
+
+def checksummed_frame(values=(11, 22, 33), threshold=4):
+    quack = PowerSumQuack(threshold=threshold)
+    quack.insert_many(values)
+    return wire.encode(quack, include_checksum=True)
+
+
+class TestTruncation:
+    def test_zero_length(self):
+        with pytest.raises(WireFormatError, match="too short"):
+            wire.decode(b"")
+
+    @pytest.mark.parametrize("length", range(1, 5))
+    def test_shorter_than_header(self, length):
+        frame = checksummed_frame()[:length]
+        with pytest.raises(WireFormatError):
+            wire.decode(frame)
+
+    def test_every_truncation_of_a_checksummed_frame(self):
+        frame = checksummed_frame()
+        for cut in range(len(frame)):
+            with pytest.raises(WireFormatError):
+                wire.decode(frame[:cut])
+
+    def test_every_truncation_of_a_bare_frame(self):
+        quack = PowerSumQuack(threshold=4)
+        quack.insert_many([7, 8, 9])
+        frame = wire.encode(quack)
+        for cut in range(len(frame)):
+            with pytest.raises(WireFormatError):
+                wire.decode(frame[:cut])
+
+    def test_truncated_echo_and_hash(self):
+        echo = EchoQuack()
+        echo.insert_many([1, 2, 3])
+        hashed = HashQuack()
+        hashed.insert_many([1, 2, 3])
+        for quack in (echo, hashed):
+            frame = wire.encode(quack, include_checksum=True)
+            for cut in range(5, len(frame)):
+                with pytest.raises(WireFormatError):
+                    wire.decode(frame[:cut])
+
+
+class TestBitFlips:
+    def test_any_single_bit_flip_in_a_checksummed_frame_is_caught(self):
+        """The whole point of the CRC: with it, *no* single bit flip can
+        produce a quACK object."""
+        frame = checksummed_frame()
+        for position in range(len(frame) * 8):
+            mangled = bytearray(frame)
+            mangled[position // 8] ^= 1 << (position % 8)
+            with pytest.raises(WireFormatError):
+                wire.decode(bytes(mangled))
+
+    def test_checksum_mismatch_names_the_problem(self):
+        frame = bytearray(checksummed_frame())
+        frame[-1] ^= 0xFF
+        with pytest.raises(WireFormatError, match="checksum mismatch"):
+            wire.decode(bytes(frame))
+
+    def test_forged_checksum_over_mangled_body_still_rejected(self):
+        """Re-computing the CRC over a corrupted body yields a frame that
+        passes the checksum but must still fail structural validation or
+        decode to a structurally valid quACK -- never crash."""
+        frame = bytearray(checksummed_frame()[:-4])
+        frame[6] ^= 0x40  # damage the threshold field
+        forged = bytes(frame) + zlib.crc32(bytes(frame)).to_bytes(4, "big")
+        try:
+            decoded = wire.decode(forged)
+        except WireFormatError:
+            return
+        assert isinstance(decoded, PowerSumQuack)
+
+
+class TestHostileParameters:
+    def test_bogus_scheme(self):
+        with pytest.raises(WireFormatError, match="unknown scheme"):
+            wire.decode(b"qK\x01\x63\x01" + b"\x00" * 8)
+
+    def test_bogus_version(self):
+        with pytest.raises(WireFormatError, match="unsupported version"):
+            wire.decode(b"qK\x07\x01\x01" + b"\x00" * 8)
+
+    def test_zero_bits_power_sum_is_a_wire_error_not_a_crash(self):
+        """bits=0 reaches the PowerSumQuack constructor, which raises a
+        domain error; the decoder must convert it to WireFormatError."""
+        body = bytes([0, 0, 2, 8]) + b"\x00"  # bits=0, t=2, count_bits=8
+        frame = b"qK\x01\x01\x01" + body
+        with pytest.raises(WireFormatError):
+            wire.decode(frame)
+
+    def test_crc_flag_without_room_for_crc(self):
+        frame = b"qK\x01\x01\x02"  # CRC flag set, 5-byte frame
+        with pytest.raises(WireFormatError, match="checksum"):
+            wire.decode(frame)
+
+    def test_garbage_is_never_a_quack(self):
+        for blob in (b"\x00" * 40, b"\xff" * 40, b"qJ" + b"\x01" * 20):
+            with pytest.raises(WireFormatError):
+                wire.decode(blob)
+
+
+class TestChecksumRoundTrip:
+    def test_checksummed_frame_decodes_identically(self):
+        quack = PowerSumQuack(threshold=4)
+        quack.insert_many([101, 202, 303])
+        frame = wire.encode(quack, include_checksum=True)
+        decoded = wire.decode(frame)
+        assert decoded.power_sums == quack.power_sums
+        assert decoded.count == quack.count
+
+    def test_checksum_costs_exactly_four_bytes(self):
+        quack = PowerSumQuack(threshold=4)
+        quack.insert_many([1, 2, 3])
+        bare = wire.encode(quack)
+        checked = wire.encode(quack, include_checksum=True)
+        assert len(checked) == len(bare) + wire.CRC_BYTES
+
+    def test_bare_frames_still_decode(self):
+        """Backward compatibility: no flag, no CRC expected."""
+        quack = PowerSumQuack(threshold=4)
+        quack.insert_many([5, 6])
+        assert wire.decode(wire.encode(quack)).count == 2
+
+    def test_count_omitted_with_checksum(self):
+        quack = PowerSumQuack(threshold=4)
+        quack.insert_many([5, 6, 7])
+        frame = wire.encode(quack, include_count=False,
+                            include_checksum=True)
+        decoded = wire.decode(frame, implicit_count=3)
+        assert decoded.count == 3

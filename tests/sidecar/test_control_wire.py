@@ -1,0 +1,65 @@
+"""The control-message wire format (reset/config) and its checksum."""
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.sidecar.protocol import (
+    ConfigMessage,
+    ResetMessage,
+    decode_control,
+    encode_control,
+)
+
+
+class TestRoundTrip:
+    def test_reset(self):
+        message = ResetMessage(flow_id="flow0", epoch=7)
+        assert decode_control(encode_control(message)) == message
+
+    def test_config_full(self):
+        message = ConfigMessage(flow_id="f", every_n=64,
+                                interval_s=0.025, threshold=20)
+        decoded = decode_control(encode_control(message))
+        assert decoded.every_n == 64
+        assert decoded.interval_s == pytest.approx(0.025)
+        assert decoded.threshold == 20
+
+    def test_config_absent_fields(self):
+        message = ConfigMessage(flow_id="f")
+        decoded = decode_control(encode_control(message))
+        assert decoded.every_n is None
+        assert decoded.interval_s is None
+        assert decoded.threshold is None
+
+    def test_unicode_flow_id(self):
+        message = ResetMessage(flow_id="flöw-0", epoch=1)
+        assert decode_control(encode_control(message)).flow_id == "flöw-0"
+
+
+class TestMalformed:
+    def test_every_truncation_fails(self):
+        frame = encode_control(ResetMessage(flow_id="flow0", epoch=3))
+        for cut in range(len(frame)):
+            with pytest.raises(WireFormatError):
+                decode_control(frame[:cut])
+
+    def test_every_single_bit_flip_is_caught(self):
+        frame = encode_control(ConfigMessage(flow_id="flow0", every_n=4))
+        for position in range(len(frame) * 8):
+            mangled = bytearray(frame)
+            mangled[position // 8] ^= 1 << (position % 8)
+            with pytest.raises(WireFormatError):
+                decode_control(bytes(mangled))
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_control(ResetMessage("f", 1)))
+        frame[0] = ord("x")
+        import zlib
+        forged = bytes(frame[:-4]) \
+            + zlib.crc32(bytes(frame[:-4])).to_bytes(4, "big")
+        with pytest.raises(WireFormatError, match="magic"):
+            decode_control(forged)
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(WireFormatError, match="cannot serialize"):
+            encode_control("not a control message")

@@ -136,3 +136,17 @@ class TestHeadroom:
         # Four threshold rows.
         assert sum(1 for line in out.splitlines()
                    if line.strip().startswith(("5 ", "10", "20", "40"))) == 4
+
+
+class TestChaos:
+    def test_single_plan_reports_and_passes(self, capsys):
+        code, out = run_cli(capsys, "chaos", "blackout", "--seed", "1",
+                            "--total", str(1460 * 300))
+        assert code == 0
+        assert "chaos plan: blackout" in out
+        assert "invariants: all held" in out
+        assert "final health:" in out
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "frobnicate"])
