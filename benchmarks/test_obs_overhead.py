@@ -1,0 +1,98 @@
+"""Guard: disabled observability adds no measurable decode overhead.
+
+The :mod:`repro.obs` instrumentation points inside the quACK decode path
+(``PROFILER.begin()`` in :func:`repro.quack.decoder.decode_delta` and
+:mod:`repro.quack.wire`) cost one attribute load plus a falsy branch
+when profiling is off.  This bench pins that claim down: the
+instrumented decode, run with observability disabled, must stay within a
+small factor of a hand-assembled pipeline that contains no
+instrumentation at all.
+
+The factor is deliberately generous (decode itself costs hundreds of
+microseconds; the guarded branches cost nanoseconds) so the guard only
+trips on a real regression -- e.g. someone making the disabled path
+allocate or take a lock -- not on scheduler noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.arith.newton import polynomial_from_power_sums
+from repro.bench.timing import measure
+from repro.bench.workloads import make_workload
+from repro.quack.decoder import _find_roots, _match_roots_to_log, decode_delta
+from repro.quack.power_sum import PowerSumQuack
+
+#: Instrumented-but-disabled decode may be at most this much slower than
+#: the uninstrumented pipeline.  Branch cost is ~1e-4 of decode cost;
+#: anything past 1.5x means the disabled path started doing real work.
+MAX_OVERHEAD_FACTOR = 1.5
+
+TRIALS = 60
+
+
+def _build_delta(workload):
+    mine = PowerSumQuack(20, workload.bits)
+    mine.insert_many(workload.sent)
+    theirs = PowerSumQuack(20, workload.bits)
+    theirs.insert_many(workload.received)
+    return mine - theirs
+
+
+def _untraced_decode(delta, sent_log):
+    """decode_delta's success path with every obs call stripped out."""
+    m = delta.count
+    poly = polynomial_from_power_sums(delta.field, delta.power_sums[:m])
+    root_counts = _find_roots(poly, sent_log, "candidates")
+    assert sum(root_counts.values()) == m
+    return _match_roots_to_log(root_counts, sent_log, delta, m)
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.disable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_disabled_tracing_adds_no_measurable_overhead():
+    workload = make_workload(n=1000, num_missing=20, bits=32, seed=0)
+    delta = _build_delta(workload)
+    sent_log = [int(identifier) for identifier in workload.sent]
+
+    expected = tuple(sorted(workload.missing))
+    result = decode_delta(delta, sent_log, method="candidates")
+    assert result.missing == expected
+    assert _untraced_decode(delta, sent_log).missing == expected
+
+    baseline = measure(lambda: _untraced_decode(delta, sent_log),
+                       trials=TRIALS)
+    instrumented = measure(
+        lambda: decode_delta(delta, sent_log, method="candidates"),
+        trials=TRIALS)
+
+    factor = instrumented.median / baseline.median
+    assert factor <= MAX_OVERHEAD_FACTOR, (
+        f"disabled-observability decode is {factor:.2f}x the untraced "
+        f"baseline ({instrumented.median * 1e6:.0f} µs vs "
+        f"{baseline.median * 1e6:.0f} µs); the disabled path must stay "
+        f"within {MAX_OVERHEAD_FACTOR}x")
+
+
+def test_enabled_profiling_actually_records():
+    """Sanity inverse: with obs on, the same decode produces span data."""
+    workload = make_workload(n=400, num_missing=10, bits=32, seed=1)
+    delta = _build_delta(workload)
+    sent_log = [int(identifier) for identifier in workload.sent]
+    obs.enable()
+    try:
+        decode_delta(delta, sent_log, method="candidates")
+    finally:
+        obs.disable()
+    spans = {entry["labels"]["span"]
+             for entry in obs.METRICS.snapshot()["obs_span_seconds"]["series"]}
+    assert {"quack.newton", "quack.rootfind"} <= spans
+    obs.reset()

@@ -34,6 +34,7 @@ class ReportOptions:
     include_protocols: bool = True
     include_headroom: bool = True
     include_chaos: bool = True
+    include_observability: bool = True
     chaos_seed: int = 1
 
 
@@ -190,6 +191,40 @@ def chaos_section(seed: int) -> str:
     return "\n".join(lines)
 
 
+def observability_section(total_bytes: int, seed: int = 1) -> str:
+    from repro.obs.runner import run_traced
+
+    result = run_traced("cc-division", seed=seed, total_bytes=total_bytes)
+    components = result.components()
+    lines = [
+        "## Observability (unified trace, `python -m repro trace`)",
+        "",
+        f"One traced cc-division run ({total_bytes:,} bytes, seed {seed}) "
+        f"captured {len(result.events)} events "
+        f"({result.events_dropped} dropped by the ring buffer):",
+        "",
+        "| component | events |",
+        "|---|---|",
+    ]
+    for name, count in sorted(components.items()):
+        lines.append(f"| {name} | {count} |")
+    lines.append("")
+    spans = result.metrics.get("obs_span_seconds", {}).get("series", [])
+    if spans:
+        lines.append("Hot-path latency spans (wall clock):")
+        lines.append("")
+        lines.append("| span | calls | mean | p99 |")
+        lines.append("|---|---|---|---|")
+        for entry in spans:
+            span = entry["labels"].get("span", "?")
+            snap = entry["value"]
+            lines.append(
+                f"| {span} | {snap['count']} | {snap['mean'] * 1e6:,.1f} µs "
+                f"| {snap['p99'] * 1e6:,.1f} µs |")
+        lines.append("")
+    return "\n".join(lines)
+
+
 def full_report(options: ReportOptions | None = None,
                 progress: Callable[[str], None] | None = None) -> str:
     """Generate the complete markdown report."""
@@ -214,4 +249,7 @@ def full_report(options: ReportOptions | None = None,
     if options.include_chaos:
         note("running chaos plans (fault injection)...")
         sections.append(chaos_section(options.chaos_seed))
+    if options.include_observability:
+        note("running a traced scenario (observability)...")
+        sections.append(observability_section(options.protocol_bytes))
     return "\n".join(sections)

@@ -5,10 +5,13 @@ The netsim layer provides the generic injectors
 (:mod:`repro.chaos.injectors`) and the scenario runner with invariant
 checks (:mod:`repro.chaos.harness`).  Quick start::
 
-    from repro.chaos import run_plan, format_result
+    from repro.chaos import run_plan
     result = run_plan("blackout", seed=1)
-    print(format_result(result))
-    assert result.ok
+    assert result.ok, result.violations()
+
+Presentation belongs to the caller: :func:`format_result` renders a
+result as text, and the ``python -m repro chaos`` subcommand is the one
+place that prints it.  Library code returns data and stays silent.
 """
 
 from repro.chaos.harness import (

@@ -10,7 +10,10 @@ Subcommands:
 * ``sizing``        -- the Section 4.3 frequency/size envelopes;
 * ``experiment``    -- run one of the E7-E9 protocol scenarios;
 * ``chaos``         -- run a fault-injection scenario and check the
-  robustness invariants (exit status 1 if any is violated).
+  robustness invariants (exit status 1 if any is violated);
+* ``trace``         -- run a scenario with the :mod:`repro.obs` layer
+  enabled, exporting the structured trace as JSONL and/or printing a
+  metrics summary.
 
 Examples::
 
@@ -21,6 +24,7 @@ Examples::
     python -m repro experiment cc-division --loss 0.02 --total 500000
     python -m repro chaos blackout --seed 1
     python -m repro chaos all
+    python -m repro trace cc-division --jsonl trace.jsonl --summary
 """
 
 from __future__ import annotations
@@ -207,6 +211,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- trace ----------------------------------------------------------------------
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs.runner import run_traced, summarize
+
+    result = run_traced(args.which, seed=args.seed, total_bytes=args.total,
+                        loss=args.loss, capacity=args.capacity)
+    if args.jsonl:
+        obs.export_jsonl(result.events, args.jsonl)
+        print(f"wrote {len(result.events)} events to {args.jsonl}",
+              file=sys.stderr)
+    if args.summary or not args.jsonl:
+        print(summarize(result))
+    missing = result.missing_core_components()
+    if missing:
+        print(f"error: no trace events from: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 # -- parser -----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +297,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--total", type=int, default=1460 * 600,
                        help="transfer size in bytes")
     chaos.set_defaults(func=cmd_chaos)
+
+    from repro.obs.runner import known_scenarios
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario with tracing/metrics enabled")
+    trace.add_argument("which", choices=known_scenarios())
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="export the trace events as JSON lines")
+    trace.add_argument("--summary", action="store_true",
+                       help="print trace tallies and the metrics table "
+                            "(default when --jsonl is not given)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--total", type=int, default=200_000,
+                       help="transfer size in bytes")
+    trace.add_argument("--loss", type=float, default=0.02,
+                       help="loss rate (experiment scenarios)")
+    trace.add_argument("--capacity", type=int, default=65536,
+                       help="trace ring-buffer capacity in events")
+    trace.set_defaults(func=cmd_trace)
 
     headroom = sub.add_parser(
         "headroom", help="threshold survival vs loss burstiness (E11)")

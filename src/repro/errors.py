@@ -70,5 +70,14 @@ class SimulationError(ReproError):
     """Misuse or misconfiguration of the network simulator."""
 
 
+class ObservabilityError(ReproError, ValueError):
+    """Misuse of the tracing/metrics layer (:mod:`repro.obs`).
+
+    Raised for registry conflicts (re-registering a metric under a
+    different type or label set), malformed trace events, and schema
+    violations found by the JSONL validator.
+    """
+
+
 class TransportError(SimulationError):
     """Protocol violation inside the paranoid transport implementation."""

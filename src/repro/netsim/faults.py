@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.netsim.packet import Packet, PacketKind
 
@@ -99,14 +100,25 @@ class FaultInjector:
             return FaultDecision.none()
         self.stats.considered += 1
         decision = self._decide(packet, now)
+        effects = []
         if decision.drop or decision.copies == 0:
             self.stats.dropped += 1
+            effects.append("drop")
         if decision.replacement is not None:
             self.stats.corrupted += 1
+            effects.append("corrupt")
         if decision.copies > 1:
             self.stats.duplicated += 1
+            effects.append("duplicate")
         if decision.extra_delay > 0:
             self.stats.delayed += 1
+            effects.append("delay")
+        if effects and obs.TRACER.enabled:
+            for effect in effects:
+                obs.TRACER.emit("fault.activate", now, injector=self.name,
+                                kind=packet.kind.value, effect=effect)
+                obs.count("netsim_fault_activations_total",
+                          injector=self.name, effect=effect)
         return decision
 
     def _decide(self, packet: Packet, now: float) -> FaultDecision:

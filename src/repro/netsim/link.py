@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.netsim.core import Simulator
 from repro.netsim.loss import LossModel, NoLoss
@@ -93,6 +94,8 @@ class Link:
         self.stats.offered += 1
         if len(self._queue) >= self.queue_packets:
             self.stats.dropped_queue += 1
+            if obs.TRACER.enabled:
+                self._trace_drop(packet, "queue")
             return False
         if (self.ecn_threshold is not None
                 and len(self._queue) >= self.ecn_threshold
@@ -100,6 +103,11 @@ class Link:
             packet.ecn_ce = True
             self.stats.ce_marked += 1
         self._queue.append(packet)
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("link.enqueue", self.sim.now, link=self.name,
+                            kind=packet.kind.value, size=packet.size_bytes,
+                            queue=len(self._queue))
+            obs.count("netsim_link_offered_total", link=self.name)
         if not self._transmitting:
             self._start_next_transmission()
         return True
@@ -134,6 +142,8 @@ class Link:
         packet = self._queue.pop(0)
         if self.loss_model.should_drop(packet):
             self.stats.dropped_loss += 1
+            if obs.TRACER.enabled:
+                self._trace_drop(packet, "loss")
         else:
             self._propagate(packet)
         if self._queue:
@@ -149,6 +159,8 @@ class Link:
             decision = self.faults.on_transmit(packet, self.sim.now)
             if decision.drop or decision.copies == 0:
                 self.stats.dropped_fault += 1
+                if obs.TRACER.enabled:
+                    self._trace_drop(packet, "fault")
                 return
             if decision.replacement is not None:
                 packet = decision.replacement
@@ -160,7 +172,18 @@ class Link:
         for _ in range(copies):
             self.stats.delivered += 1
             self.stats.bytes_delivered += packet.size_bytes
+            if obs.TRACER.enabled:
+                obs.TRACER.emit("link.deliver", self.sim.now, link=self.name,
+                                kind=packet.kind.value,
+                                size=packet.size_bytes)
+                obs.count("netsim_link_delivered_total", link=self.name)
             self.sim.schedule(delay, self.deliver, packet)
+
+    def _trace_drop(self, packet: Packet, reason: str) -> None:
+        obs.TRACER.emit("link.drop", self.sim.now, link=self.name,
+                        kind=packet.kind.value, size=packet.size_bytes,
+                        reason=reason)
+        obs.count("netsim_link_dropped_total", link=self.name, reason=reason)
 
     def __repr__(self) -> str:
         return (f"Link({self.name}, {self.bandwidth_bps / 1e6:.1f} Mbps, "

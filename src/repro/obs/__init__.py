@@ -1,0 +1,123 @@
+"""Unified observability: tracing, metrics, and profiling (``repro.obs``).
+
+Three cooperating pieces, shared by every layer of the reproduction:
+
+* :mod:`repro.obs.metrics` -- labeled ``Counter``/``Gauge``/``Histogram``
+  families in a :class:`MetricsRegistry` with snapshot/reset and
+  text/JSON rendering;
+* :mod:`repro.obs.trace` -- a structured log of typed events stamped
+  with virtual time, held in a capped ring buffer and exportable as
+  JSONL (the vocabulary lives in :mod:`repro.obs.schema`);
+* :mod:`repro.obs.profile` -- wall-clock spans over the quACK hot paths
+  feeding latency histograms.
+
+The module-level singletons (:data:`TRACER`, :data:`METRICS`,
+:data:`PROFILER`) are what the instrumentation points inside netsim,
+transport, quack, and sidecar talk to.  They are **off by default** and
+cost one attribute load plus a branch per instrumentation point while
+off -- simulations that do not ask for observability pay nothing
+measurable (``benchmarks/test_obs_overhead.py`` pins this down).
+
+Typical use (what ``python -m repro trace`` does)::
+
+    from repro import obs
+
+    sink = obs.enable()                 # tracing + metrics + profiling on
+    ... run a scenario ...
+    obs.export_jsonl(sink.events, "trace.jsonl")
+    print(obs.METRICS.render_text())
+    obs.disable()
+
+Instrumentation points follow one pattern -- guard, then emit::
+
+    from repro import obs
+
+    if obs.TRACER.enabled:
+        obs.TRACER.emit("link.drop", self.sim.now, link=self.name,
+                        kind=packet.kind.value, size=packet.size_bytes,
+                        reason="queue")
+        obs.count("netsim_link_dropped_total", link=self.name,
+                  reason="queue")
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    json_safe,
+)
+from repro.obs.profile import SPAN_METRIC, Profiler
+from repro.obs.trace import RingSink, TraceEvent, Tracer, dump_jsonl, export_jsonl
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
+    "DEFAULT_BUCKETS", "json_safe",
+    "TraceEvent", "RingSink", "Tracer", "dump_jsonl", "export_jsonl",
+    "Profiler", "SPAN_METRIC",
+    "TRACER", "METRICS", "PROFILER",
+    "enable", "disable", "reset", "count", "gauge", "observe",
+]
+
+#: The process-wide trace switchboard (off until :func:`enable`).
+TRACER = Tracer()
+
+#: The process-wide metrics registry.  Always writable; hot paths only
+#: touch it behind ``TRACER.enabled`` so disabled runs skip it entirely.
+METRICS = MetricsRegistry()
+
+#: The process-wide wall-clock profiler (records into :data:`METRICS`).
+PROFILER = Profiler()
+
+
+def enable(capacity: int = 65536, profile: bool = True) -> RingSink:
+    """Turn observability on; returns the fresh trace sink."""
+    sink = TRACER.configure(capacity)
+    if profile:
+        PROFILER.configure(METRICS)
+    return sink
+
+
+def disable() -> None:
+    """Turn tracing and profiling off (collected data stays readable)."""
+    TRACER.disable()
+    PROFILER.disable()
+
+
+def reset() -> None:
+    """Zero the metrics and drop buffered trace events."""
+    METRICS.reset()
+    if TRACER.sink is not None:
+        TRACER.sink.clear()
+
+
+# -- terse instrumentation helpers ------------------------------------------
+#
+# These keep call sites one line each.  They are *not* pre-guarded: hot
+# paths must check ``TRACER.enabled`` first so the disabled cost stays at
+# one branch.
+
+def count(name: str, amount: float = 1.0, **labels: object) -> None:
+    """Increment ``name{labels}`` in the global registry."""
+    METRICS.counter(name, labels=tuple(sorted(labels))).labels(
+        **labels).inc(amount)
+
+
+def gauge(name: str, value: float, **labels: object) -> None:
+    """Set ``name{labels}`` in the global registry."""
+    METRICS.gauge(name, labels=tuple(sorted(labels))).labels(
+        **labels).set(value)
+
+
+def observe(name: str, value: float,
+            buckets: Sequence[float] = DEFAULT_BUCKETS,
+            **labels: object) -> None:
+    """Observe ``value`` into histogram ``name{labels}``."""
+    METRICS.histogram(name, labels=tuple(sorted(labels)),
+                      buckets=buckets).labels(**labels).observe(value)

@@ -1,0 +1,82 @@
+"""Wall-clock profiling spans feeding latency histograms.
+
+Unlike trace events (stamped with *virtual* time), spans measure the
+*real* cost of the hot paths the paper benchmarks in Tables 2-3: the
+power-sum update, Newton's identities, root finding, and wire
+encode/decode.  Each completed span lands in the
+``obs_span_seconds{span=<name>}`` histogram of a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+Two usage styles:
+
+* explicit, for per-packet paths where even a context manager is too
+  much overhead when profiling is off::
+
+      _prof = PROFILER
+      t0 = _prof.begin()            # 0.0 when disabled, perf_counter otherwise
+      ... the hot work ...
+      if t0:
+          _prof.end("quack.newton", t0)
+
+* scoped, for everything else::
+
+      with PROFILER.span("report.section"):
+          ...
+
+The disabled fast path of :meth:`Profiler.begin` is one attribute load
+and a branch, which is what the decode-overhead bench guard measures.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Histogram every completed span lands in, labeled by span name.
+SPAN_METRIC = "obs_span_seconds"
+
+
+class Profiler:
+    """Collects wall-clock span durations into a metrics registry."""
+
+    __slots__ = ("enabled", "registry", "_family")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry: MetricsRegistry | None = None
+        self._family = None
+
+    def configure(self, registry: MetricsRegistry) -> None:
+        """Record spans into ``registry`` and switch profiling on."""
+        self.registry = registry
+        self._family = registry.histogram(
+            SPAN_METRIC, help="wall-clock span latency", labels=("span",))
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def begin(self) -> float:
+        """Span start marker: 0.0 when disabled (falsy; skip the end)."""
+        if not self.enabled:
+            return 0.0
+        return perf_counter()
+
+    def end(self, name: str, started: float) -> None:
+        """Close a span opened by :meth:`begin` (no-op if disabled since)."""
+        if not self.enabled or self._family is None:
+            return
+        self._family.labels(span=name).observe(perf_counter() - started)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Scoped convenience form for non-hot paths."""
+        started = self.begin()
+        try:
+            yield
+        finally:
+            if started:
+                self.end(name, started)

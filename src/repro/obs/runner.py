@@ -1,0 +1,136 @@
+"""Run one scenario with observability enabled; collect trace + metrics.
+
+This is the engine behind ``python -m repro trace <scenario>``: it turns
+the global observability switchboard on, runs a named scenario -- one of
+the protocol experiments (E7-E9) or any chaos plan -- and hands back the
+captured trace events, the metrics snapshot, and a rendered summary.
+
+The runner owns the enable/disable lifecycle so callers can never leak
+an enabled tracer into code that did not ask for one; metrics and the
+ring buffer are reset on entry so each run's data stands alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs.schema import CORE_COMPONENTS, component_of
+from repro.obs.trace import TraceEvent
+
+#: The protocol experiments the runner knows how to drive.
+EXPERIMENT_SCENARIOS = ("cc-division", "ack-reduction", "retransmission")
+
+
+def known_scenarios() -> tuple[str, ...]:
+    """Every name :func:`run_traced` accepts (experiments + chaos plans)."""
+    from repro.chaos import PLANS
+
+    return EXPERIMENT_SCENARIOS + tuple(sorted(PLANS))
+
+
+@dataclass
+class TraceRunResult:
+    """One traced run: the events, the metrics, and the scenario output."""
+
+    scenario: str
+    seed: int
+    events: list[TraceEvent]
+    events_emitted: int
+    events_dropped: int
+    metrics: dict
+    metrics_text: str
+    outcome: Any
+
+    def components(self) -> dict[str, int]:
+        """Event counts by component prefix (link/transport/quack/...)."""
+        tally: dict[str, int] = {}
+        for event in self.events:
+            component = component_of(event.type)
+            tally[component] = tally.get(component, 0) + 1
+        return tally
+
+    def missing_core_components(self) -> list[str]:
+        """Core components that produced no events (should be empty)."""
+        present = self.components()
+        return [name for name in CORE_COMPONENTS if not present.get(name)]
+
+
+def run_traced(scenario: str, *, seed: int = 1,
+               total_bytes: int = 200_000, loss: float = 0.02,
+               capacity: int = 65536,
+               profile: bool = True) -> TraceRunResult:
+    """Run ``scenario`` with tracing/metrics/profiling enabled.
+
+    ``scenario`` is an experiment name (``cc-division``,
+    ``ack-reduction``, ``retransmission``) or a chaos plan name
+    (``blackout``, ``corruption``, ...).  Observability is switched off
+    again before returning, whatever happens inside the scenario.
+    """
+    from repro.chaos import PLANS, run_plan
+
+    if scenario not in EXPERIMENT_SCENARIOS and scenario not in PLANS:
+        raise ObservabilityError(
+            f"unknown scenario {scenario!r}; have "
+            f"{', '.join(known_scenarios())}")
+
+    obs.reset()
+    sink = obs.enable(capacity=capacity, profile=profile)
+    try:
+        outcome = _run_scenario(scenario, seed=seed, total_bytes=total_bytes,
+                                loss=loss, run_plan=run_plan, plans=PLANS)
+    finally:
+        obs.disable()
+    return TraceRunResult(
+        scenario=scenario,
+        seed=seed,
+        events=sink.events,
+        events_emitted=sink.emitted,
+        events_dropped=sink.dropped,
+        metrics=obs.METRICS.snapshot(),
+        metrics_text=obs.METRICS.render_text(),
+        outcome=outcome,
+    )
+
+
+def _run_scenario(scenario: str, *, seed: int, total_bytes: int, loss: float,
+                  run_plan, plans) -> Any:
+    if scenario in plans:
+        return run_plan(scenario, seed=seed, total_bytes=total_bytes)
+    if scenario == "cc-division":
+        from repro.sidecar.cc_division import run_cc_division
+
+        return run_cc_division(total_bytes=total_bytes, loss_rate=loss,
+                               sidecar=True, seed=seed)
+    if scenario == "ack-reduction":
+        from repro.sidecar.ack_reduction import run_ack_reduction
+
+        return run_ack_reduction(total_bytes=total_bytes, loss_rate=loss,
+                                 sidecar=True, seed=seed)
+    from repro.sidecar.retransmission import run_retransmission
+
+    return run_retransmission(total_bytes=total_bytes, loss_rate=loss,
+                              innet_retx=True, seed=seed)
+
+
+def summarize(result: TraceRunResult) -> str:
+    """The ``--summary`` text: trace tallies above the metrics table."""
+    lines = [
+        f"scenario: {result.scenario} (seed {result.seed})",
+        f"trace: {len(result.events)} events buffered "
+        f"({result.events_emitted} emitted, {result.events_dropped} "
+        f"dropped by the ring)",
+    ]
+    components = result.components()
+    if components:
+        lines.append("events by component: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(components.items())))
+    missing = result.missing_core_components()
+    if missing:
+        lines.append(f"WARNING: no events from: {', '.join(missing)}")
+    lines.append("")
+    lines.append("metrics:")
+    lines.append(result.metrics_text)
+    return "\n".join(lines)

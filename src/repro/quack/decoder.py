@@ -30,6 +30,7 @@ from typing import Sequence
 from repro.arith.newton import polynomial_from_power_sums
 from repro.arith.polynomial import Poly
 from repro.arith.roots import find_all_roots, roots_among_candidates
+from repro.obs import PROFILER
 from repro.errors import (
     ArithmeticDomainError,
     InconsistentQuackError,
@@ -87,8 +88,14 @@ def decode_delta(delta: PowerSumQuack, sent_log: Sequence[int],
         )
 
     if failure is None and result is None:
+        started = PROFILER.begin()
         poly = polynomial_from_power_sums(delta.field, delta.power_sums[:m])
+        if started:
+            PROFILER.end("quack.newton", started)
+        started = PROFILER.begin()
         root_counts = _find_roots(poly, sent_log, _resolve_method(method, m, sent_log))
+        if started:
+            PROFILER.end("quack.rootfind", started)
         if sum(root_counts.values()) != m:
             failure = InconsistentQuackError(
                 "the power-sum polynomial does not split into linear "

@@ -42,6 +42,7 @@ import struct
 import zlib
 
 from repro.errors import WireFormatError
+from repro.obs import PROFILER
 from repro.quack.base import Quack, QuackScheme
 from repro.quack.power_sum import PowerSumQuack
 from repro.quack.strawman import EchoQuack, HashQuack
@@ -65,6 +66,7 @@ def encode(quack: Quack, include_count: bool = True,
     deserializer can reject bit-flipped frames outright; the sidecar
     protocol layer always asks for it.
     """
+    started = PROFILER.begin()
     if isinstance(quack, PowerSumQuack):
         frame = _encode_power_sum(quack, include_count, include_checksum)
     elif isinstance(quack, EchoQuack):
@@ -75,6 +77,8 @@ def encode(quack: Quack, include_count: bool = True,
         raise WireFormatError(f"cannot serialize {type(quack).__name__}")
     if include_checksum:
         frame += struct.pack(">I", zlib.crc32(frame))
+    if started:
+        PROFILER.end("quack.wire_encode", started)
     return frame
 
 
@@ -110,6 +114,7 @@ def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
         frame = frame[:-CRC_BYTES]
     body = frame[5:]
     has_count = bool(flags & _FLAG_HAS_COUNT)
+    started = PROFILER.begin()
     try:
         if scheme is QuackScheme.POWER_SUM:
             return _decode_power_sum(body, has_count, implicit_count)
@@ -123,6 +128,9 @@ def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
         # quACK accepts (bits=0, absurd widths); network input must
         # surface as a wire error, not a constructor exception.
         raise WireFormatError(f"unusable frame parameters: {exc}") from exc
+    finally:
+        if started:
+            PROFILER.end("quack.wire_decode", started)
 
 
 # -- power sum ----------------------------------------------------------------

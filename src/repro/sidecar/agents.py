@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import QuackError, WireFormatError
 from repro.netsim.core import EventHandle, Simulator
 from repro.netsim.node import Host, Router
@@ -154,6 +155,10 @@ class HostEmitterAgent(_EmitterMixin):
 
     def _send(self, snapshot) -> None:
         self.quacks_sent += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.quack_emit", self.sim.now, role="host",
+                            flow=self.flow_id, epoch=self.epoch)
+            obs.count("sidecar_quacks_emitted_total", role="host")
         self.host.send(quack_packet(self.host.name, self.peer, snapshot,
                                     self.flow_id, self.sim.now,
                                     epoch=self.epoch))
@@ -241,6 +246,7 @@ class ServerSidecar:
         self._epoch_confirmed = True
         self._retry_handle: EventHandle | None = None
         self._retry_delay = 0.0
+        self._reset_reason = "decode failures"
         #: Whether congestion control was divided at construction time
         #: (the E2E_ONLY fallback hands it back to the e2e ACKs).
         self._cc_divided = not sender.cc_from_acks
@@ -303,6 +309,10 @@ class ServerSidecar:
             # reset is warranted -- but the channel looks unhealthy.
             self.stats.wire_errors += 1
             self.stats.decode_failures += 1
+            if obs.TRACER.enabled:
+                obs.TRACER.emit("sidecar.wire_error", self.sim.now,
+                                flow=self.sender.flow_id)
+                obs.count("sidecar_wire_errors_total")
             self._note_health_failure("corrupt frame")
             return
         except (QuackError, TypeError):
@@ -362,7 +372,7 @@ class ServerSidecar:
         self.stats.restarts_detected += 1
         self._note_health_failure("emitter restart")
         if not self._settling:
-            self._begin_reset()
+            self._begin_reset("emitter restart")
         return True
 
     # -- reset protocol (Section 3.3) -------------------------------------------
@@ -374,11 +384,12 @@ class ServerSidecar:
         if (self.reset_after_failures is not None
                 and not self._settling
                 and self._consecutive_failures >= self.reset_after_failures):
-            self._begin_reset()
+            self._begin_reset("decode failures")
 
-    def _begin_reset(self) -> None:
+    def _begin_reset(self, reason: str = "decode failures") -> None:
         self.stats.resets_initiated += 1
         self._settling = True
+        self._reset_reason = reason
         self._cancel_retry()
         self.sender.pause()
         self.sim.schedule(self.settle_time, self._complete_reset)
@@ -390,6 +401,11 @@ class ServerSidecar:
         self._consecutive_failures = 0
         self._last_emitter_count = None
         self._epoch_confirmed = False
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.reset", self.sim.now,
+                            flow=self.sender.flow_id, epoch=self.epoch,
+                            reason=self._reset_reason)
+            obs.count("sidecar_resets_total", reason=self._reset_reason)
         self._send_reset()
         self._arm_retry(initial=True)
         self.sim.schedule(self.settle_time, self._resume)
@@ -431,6 +447,10 @@ class ServerSidecar:
         if self._epoch_confirmed:
             return
         self.stats.reset_retries += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.reset_retry", self.sim.now,
+                            flow=self.sender.flow_id, epoch=self.epoch)
+            obs.count("sidecar_reset_retries_total")
         self._send_reset()
         self._retry_delay = min(2 * self._retry_delay, self.reset_retry_cap)
         self._arm_retry()
@@ -519,6 +539,10 @@ class ProxyEmitterTap(_EmitterMixin):
 
     def _send(self, snapshot) -> None:
         self.quacks_sent += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.quack_emit", self.sim.now, role="proxy",
+                            flow=self.flow_id, epoch=self.epoch)
+            obs.count("sidecar_quacks_emitted_total", role="proxy")
         self.router.send(quack_packet(self.router.name, self.server, snapshot,
                                       self.flow_id, self.sim.now,
                                       epoch=self.epoch))

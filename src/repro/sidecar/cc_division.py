@@ -37,6 +37,7 @@ from repro.netsim.core import Simulator
 from repro.netsim.link import Link
 from repro.netsim.loss import BernoulliLoss, GilbertElliottLoss, LossModel
 from repro.netsim.node import Host, Router
+from repro import obs
 from repro.netsim.packet import Packet, PacketKind
 from repro.sidecar.agents import (
     DEFAULT_THRESHOLD,
@@ -165,6 +166,10 @@ class PacingProxy:
             self.stats.forwarded += 1
             snapshot = self.emitter.observe(head.identifier, now)
             if snapshot is not None:
+                if obs.TRACER.enabled:
+                    obs.TRACER.emit("sidecar.quack_emit", now, role="proxy",
+                                    flow=self.flow_id, epoch=0)
+                    obs.count("sidecar_quacks_emitted_total", role="proxy")
                 self.router.send(quack_packet(self.router.name, self.server,
                                               snapshot, self.flow_id, now))
 

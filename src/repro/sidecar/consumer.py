@@ -29,6 +29,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
+from repro.obs import PROFILER
 from repro.quack.base import DecodeStatus
 from repro.quack.decoder import decode_delta
 from repro.quack.power_sum import PowerSumQuack
@@ -96,7 +98,10 @@ class QuackConsumer:
 
     def record_send(self, identifier: int, meta: Any, now: float) -> None:
         """Log one transmitted packet (amortized power-sum update)."""
+        started = PROFILER.begin()
         self.mine.insert(identifier)
+        if started:
+            PROFILER.end("quack.power_sum_update", started)
         self.log.append(LogEntry(identifier, meta, now))
         self.stats.sent_logged += 1
 
@@ -106,6 +111,13 @@ class QuackConsumer:
         return len(self.log)
 
     # -- the decode pipeline ---------------------------------------------------
+
+    @staticmethod
+    def _trace_decode(now: float, status: DecodeStatus, missing: int) -> None:
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("quack.decode", now, status=status.value,
+                            missing=missing)
+            obs.count("quack_decodes_total", status=status.value)
 
     def on_quack(self, theirs: PowerSumQuack, now: float) -> QuackFeedback:
         """Process one received quACK; returns the decoded feedback.
@@ -125,11 +137,13 @@ class QuackConsumer:
             # Parameter mismatch (e.g. a peer misconfigured after a
             # renegotiation): a protocol error to report, not a crash.
             self.stats.quacks_failed += 1
+            self._trace_decode(now, DecodeStatus.INCONSISTENT, 0)
             return QuackFeedback(status=DecodeStatus.INCONSISTENT)
         m_total = (self.mine.count - theirs.count) \
             & ((1 << self.mine.count_bits) - 1)
         if m_total > len(self.log):
             self.stats.quacks_failed += 1
+            self._trace_decode(now, DecodeStatus.INCONSISTENT, m_total)
             return QuackFeedback(status=DecodeStatus.INCONSISTENT,
                                  num_missing=m_total)
 
@@ -151,6 +165,7 @@ class QuackConsumer:
                               method=self.decode_method)
         if not result.ok:
             self.stats.quacks_failed += 1
+            self._trace_decode(now, result.status, result.num_missing)
             return QuackFeedback(status=result.status,
                                  num_missing=result.num_missing,
                                  in_transit=in_transit)
@@ -197,6 +212,7 @@ class QuackConsumer:
         # The truncated suffix stays in the log untouched.
         survivors.extend(self.log[len(kept):])
         self.log = survivors
+        self._trace_decode(now, DecodeStatus.OK, result.num_missing)
         return feedback
 
     @staticmethod

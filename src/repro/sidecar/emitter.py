@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import PROFILER
 from repro.quack.power_sum import PowerSumQuack
 from repro.sidecar.frequency import FrequencyPolicy, PacketCountFrequency
 
@@ -39,7 +40,10 @@ class QuackEmitter:
 
     def observe(self, identifier: int, now: float) -> PowerSumQuack | None:
         """Fold one identifier in; returns a snapshot if one is due now."""
+        started = PROFILER.begin()
         self.quack.insert(identifier)
+        if started:
+            PROFILER.end("quack.power_sum_update", started)
         self.stats.observed += 1
         self._packets_since_emit += 1
         if self.policy.on_packet(self._packets_since_emit, now,

@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import obs
+
 
 class HealthState(Enum):
     """Rungs of the degradation ladder, healthiest first."""
@@ -174,4 +176,8 @@ class HealthMonitor:
             return
         self.stats.transitions.append(
             HealthTransition(time=now, old=self.state, new=new, reason=reason))
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.health", now, old=self.state.value,
+                            new=new.value, reason=reason)
+            obs.count("sidecar_health_transitions_total", new=new.value)
         self.state = new

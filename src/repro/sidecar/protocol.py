@@ -30,6 +30,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import WireFormatError
 from repro.netsim.packet import Packet, PacketKind
 from repro.quack import wire
@@ -189,6 +190,10 @@ def quack_packet(src: str, dst: str, quack: PowerSumQuack, flow_id: str,
     """Wrap a quACK snapshot in a datagram addressed to a sidecar peer."""
     frame = wire.encode(quack, include_count=include_count,
                         include_checksum=True)
+    if obs.TRACER.enabled:
+        obs.TRACER.emit("quack.encode", now, scheme="power_sum",
+                        bytes=len(frame))
+        obs.count("quack_encoded_total", scheme="power_sum")
     return Packet(
         src=src, dst=dst,
         size_bytes=SIDECAR_HEADER_BYTES + len(frame),

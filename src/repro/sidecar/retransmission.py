@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.netsim.core import Simulator
 from repro.netsim.loss import BernoulliLoss
 from repro.sidecar.cc_division import make_loss_model
+from repro import obs
 from repro.netsim.node import Host, Router
 from repro.netsim.packet import Packet, PacketKind
 from repro.netsim.topology import HopSpec, build_path
@@ -169,6 +170,10 @@ class ReceiverSideRetxProxy:
             snapshot = self.emitter.observe(packet.identifier, self.sim.now)
             if snapshot is not None:
                 self.quacks_sent += 1
+                if obs.TRACER.enabled:
+                    obs.TRACER.emit("sidecar.quack_emit", self.sim.now,
+                                    role="proxy", flow=self.flow_id, epoch=0)
+                    obs.count("sidecar_quacks_emitted_total", role="proxy")
                 self.router.send(quack_packet(self.router.name,
                                               self.peer_proxy, snapshot,
                                               self.flow_id, self.sim.now))

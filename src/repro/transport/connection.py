@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.errors import TransportError
 from repro.ids import IdentifierFactory
 from repro.netsim.core import EventHandle, Simulator
@@ -161,6 +162,7 @@ class SenderConnection:
         self._send_listeners: list[Callable[[SentPacketRecord], None]] = []
         self._started = False
         self._paused = False
+        self._last_traced_cwnd: float | None = None
 
         host.add_handler(PacketKind.ACK, self._on_ack_packet)
 
@@ -267,7 +269,8 @@ class SenderConnection:
             record = self.sent.get(pn)
             if record is None or record.acked or record.lost:
                 continue
-            self._declare_lost(record, now, congestion=congestive)
+            self._declare_lost(record, now, congestion=congestive,
+                               trigger="sidecar")
             self.stats.sidecar_losses += 1
         self._maybe_send()
 
@@ -381,6 +384,13 @@ class SenderConnection:
         if is_retransmission:
             self.stats.retransmitted_packets += 1
         self.cc.on_packet_sent(size, self.sim.now)
+        if obs.TRACER.enabled:
+            etype = "transport.retransmit" if is_retransmission \
+                else "transport.send"
+            obs.TRACER.emit(etype, self.sim.now, flow=self.flow_id, pn=pn,
+                            size=size)
+            obs.count("transport_packets_sent_total", flow=self.flow_id,
+                      retx=is_retransmission)
         self.host.send(packet, via=self.via)
         for listener in self._send_listeners:
             listener(record)
@@ -428,6 +438,18 @@ class SenderConnection:
             if self.cc_from_acks:
                 self._congestion_from_largest(now)
         self._detect_losses(now)
+        if obs.TRACER.enabled and self.cc.cwnd != self._last_traced_cwnd:
+            # One cwnd event per change keeps the trace readable: ACKs
+            # that leave the window alone add nothing.
+            self._last_traced_cwnd = self.cc.cwnd
+            obs.TRACER.emit("transport.cwnd", now, flow=self.flow_id,
+                            cwnd=int(self.cc.cwnd),
+                            in_flight=self.bytes_in_flight,
+                            srtt=self.rtt.srtt)
+            obs.gauge("transport_cwnd_bytes", int(self.cc.cwnd),
+                      flow=self.flow_id)
+            obs.gauge("transport_srtt_seconds", self.rtt.srtt,
+                      flow=self.flow_id)
         self._check_completion()
         self._maybe_send()
 
@@ -451,12 +473,20 @@ class SenderConnection:
             reordered_out = self._largest_acked - pn >= self.reorder_threshold
             too_old = now - record.time_sent >= time_threshold
             if reordered_out or too_old:
-                self._declare_lost(record, now, congestion=self.cc_from_acks)
+                self._declare_lost(record, now, congestion=self.cc_from_acks,
+                                   trigger="reorder" if reordered_out
+                                   else "time")
 
     def _declare_lost(self, record: SentPacketRecord, now: float,
-                      congestion: bool) -> None:
+                      congestion: bool, trigger: str = "reorder") -> None:
         record.lost = True
         self.stats.losses_detected += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("transport.loss", now, flow=self.flow_id,
+                            pn=record.packet_number, trigger=trigger,
+                            congestion=congestion)
+            obs.count("transport_losses_total", flow=self.flow_id,
+                      trigger=trigger)
         if not record.retired:
             record.retired = True
             self.bytes_in_flight -= record.size_bytes
@@ -484,13 +514,18 @@ class SenderConnection:
             return
         self.stats.pto_fired += 1
         self._pto_backoff += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("transport.pto", self.sim.now, flow=self.flow_id,
+                            backoff=self._pto_backoff)
+            obs.count("transport_pto_fired_total", flow=self.flow_id)
         # Probe: retransmit the earliest outstanding un-acked range.
         outstanding = sorted(
             (r for r in self.sent.values() if not r.acked and not r.lost),
             key=lambda r: r.offset,
         )
         for record in outstanding[:2]:
-            self._declare_lost(record, self.sim.now, congestion=False)
+            self._declare_lost(record, self.sim.now, congestion=False,
+                               trigger="pto")
         self._maybe_send()
         self._arm_pto()
 
@@ -510,6 +545,9 @@ class SenderConnection:
                         0, self.total_bytes - 1))
         if done:
             self.completed_at = self.sim.now
+            if obs.TRACER.enabled:
+                obs.TRACER.emit("transport.complete", self.sim.now,
+                                flow=self.flow_id, bytes=self.total_bytes)
             if self._pto_handle is not None:
                 self._pto_handle.cancel()
                 self._pto_handle = None

@@ -6,6 +6,13 @@ samples a :class:`~repro.transport.connection.SenderConnection` on a
 fixed virtual-time cadence (stopping itself at completion), and
 :func:`ascii_chart` renders a series as a terminal-friendly plot for the
 examples and for debugging experiment runs.
+
+The probe is built on the :mod:`repro.obs` layer: while tracing is
+enabled each sample also lands as a ``transport.sample`` trace event and
+refreshes the ``transport_cwnd_bytes`` / ``transport_srtt_seconds``
+gauges, so a probed run needs no extra wiring to show up in the unified
+trace.  The local ``samples`` list is kept regardless -- it is the API
+the examples chart from.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.netsim.core import Simulator
 from repro.transport.connection import SenderConnection
 
@@ -46,14 +54,25 @@ class ConnectionProbe:
     def _tick(self) -> None:
         if self._stopped:
             return
-        self.samples.append(ConnectionSample(
+        sample = ConnectionSample(
             time=self.sim.now,
             cwnd_bytes=int(self.sender.cc.cwnd),
             bytes_in_flight=self.sender.bytes_in_flight,
             srtt=self.sender.rtt.srtt,
             packets_sent=self.sender.stats.packets_sent,
             retransmitted=self.sender.stats.retransmitted_packets,
-        ))
+        )
+        self.samples.append(sample)
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("transport.sample", sample.time,
+                            flow=self.sender.flow_id,
+                            cwnd=sample.cwnd_bytes,
+                            in_flight=sample.bytes_in_flight,
+                            srtt=sample.srtt)
+            obs.gauge("transport_cwnd_bytes", sample.cwnd_bytes,
+                      flow=self.sender.flow_id)
+            obs.gauge("transport_srtt_seconds", sample.srtt,
+                      flow=self.sender.flow_id)
         if self.sender.complete:
             self._stopped = True
             return

@@ -6,6 +6,7 @@ from repro.bench.report import (
     ReportOptions,
     environment_section,
     full_report,
+    observability_section,
     sizing_section,
     table2_section,
     table3_section,
@@ -33,6 +34,13 @@ class TestSections:
         assert "1000 packets per RTT" in section
         assert "82 B" in section
 
+    def test_observability_section(self):
+        section = observability_section(60_000)
+        assert "## Observability" in section
+        for component in ("link", "transport", "quack", "sidecar"):
+            assert f"| {component} |" in section
+        assert "quack.newton" in section  # the profiling spans table
+
 
 class TestFullReport:
     def test_quick_report_assembles(self):
@@ -45,20 +53,24 @@ class TestFullReport:
         assert "## Table 3" in text
         assert "CC division (E7)" in text
         assert "Threshold headroom" in text
-        assert len(progress_log) == 3
+        assert "## Observability" in text
+        assert len(progress_log) == 4
 
     def test_sections_can_be_disabled(self):
         options = ReportOptions(trials=2, include_protocols=False,
-                                include_headroom=False, include_chaos=False)
+                                include_headroom=False, include_chaos=False,
+                                include_observability=False)
         text = full_report(options)
         assert "CC division (E7)" not in text
         assert "Threshold headroom" not in text
         assert "Robustness under fault injection" not in text
+        assert "## Observability" not in text
         assert "## Table 2" in text
 
     def test_chaos_section_reports_invariants(self):
         options = ReportOptions(trials=2, include_protocols=False,
-                                include_headroom=False)
+                                include_headroom=False,
+                                include_observability=False)
         text = full_report(options)
         assert "Robustness under fault injection" in text
         assert "| blackout |" in text

@@ -1,0 +1,148 @@
+"""Tests for the labeled metrics registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    json_safe,
+)
+
+
+class TestJsonSafe:
+    def test_finite_passthrough(self):
+        assert json_safe(1.5) == 1.5
+        assert json_safe(0) == 0
+        assert json_safe("x") == "x"
+        assert json_safe(None) is None
+
+    def test_non_finite_to_none(self):
+        assert json_safe(float("inf")) is None
+        assert json_safe(float("-inf")) is None
+        assert json_safe(float("nan")) is None
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.snapshot() == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.inc(7)
+        counter.reset()
+        assert counter.snapshot() == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.snapshot() == 12.0
+
+
+class TestHistogram:
+    def test_observations(self):
+        hist = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 0.05
+        assert snap["max"] == 50.0
+        assert snap["mean"] == pytest.approx(55.55 / 4)
+
+    def test_quantile_from_buckets(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_empty_snapshot_has_no_extremes(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_quantile_validation(self):
+        with pytest.raises(ObservabilityError):
+            Histogram().quantile(1.5)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", labels=("a",))
+        second = registry.counter("x_total", labels=("a",))
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ObservabilityError):
+            registry.counter("x_total", labels=("b",))
+
+    def test_wrong_labels_on_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("a",))
+        with pytest.raises(ObservabilityError):
+            family.labels(b=1)
+
+    def test_children_keyed_by_label_values(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("a",))
+        family.labels(a="one").inc()
+        family.labels(a="one").inc()
+        family.labels(a="two").inc()
+        snap = family.snapshot()
+        values = {tuple(s["labels"].items()): s["value"]
+                  for s in snap["series"]}
+        assert values[(("a", "one"),)] == 2.0
+        assert values[(("a", "two"),)] == 1.0
+
+    def test_reset_zeroes_but_keeps_families(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total").labels().inc(5)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["x_total"]["series"][0]["value"] == 0.0
+
+    def test_render_json_valid_with_infinite_gauge(self):
+        # RttEstimator.min_rtt starts at inf; the export must stay JSON.
+        registry = MetricsRegistry()
+        registry.gauge("transport_min_rtt_seconds").labels().set(math.inf)
+        parsed = json.loads(registry.render_json())
+        assert parsed["transport_min_rtt_seconds"]["series"][0]["value"] is None
+
+    def test_render_text(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",)).labels(a="y").inc(3)
+        text = registry.render_text()
+        assert "x_total{a=y}" in text and "3" in text
+
+    def test_render_text_empty(self):
+        assert "no metrics" in MetricsRegistry().render_text()

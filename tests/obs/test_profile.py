@@ -1,0 +1,48 @@
+"""Tests for the wall-clock profiler."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SPAN_METRIC, Profiler
+
+
+class TestProfiler:
+    def test_disabled_begin_is_falsy(self):
+        profiler = Profiler()
+        assert profiler.begin() == 0.0
+        # end() without configure must be harmless.
+        profiler.end("x", 0.0)
+
+    def test_records_span_into_histogram(self):
+        registry = MetricsRegistry()
+        profiler = Profiler()
+        profiler.configure(registry)
+        started = profiler.begin()
+        assert started > 0.0
+        profiler.end("quack.newton", started)
+        snap = registry.snapshot()[SPAN_METRIC]["series"]
+        assert snap[0]["labels"] == {"span": "quack.newton"}
+        assert snap[0]["value"]["count"] == 1
+        assert snap[0]["value"]["min"] >= 0.0
+
+    def test_span_context_manager(self):
+        registry = MetricsRegistry()
+        profiler = Profiler()
+        profiler.configure(registry)
+        with profiler.span("report.section"):
+            pass
+        series = registry.snapshot()[SPAN_METRIC]["series"]
+        assert series[0]["value"]["count"] == 1
+
+    def test_span_context_manager_disabled(self):
+        profiler = Profiler()
+        with profiler.span("x"):
+            pass  # nothing recorded, nothing raised
+
+    def test_disable_stops_recording(self):
+        registry = MetricsRegistry()
+        profiler = Profiler()
+        profiler.configure(registry)
+        started = profiler.begin()
+        profiler.disable()
+        profiler.end("x", started)
+        assert SPAN_METRIC not in registry.snapshot() \
+            or not registry.snapshot()[SPAN_METRIC]["series"]

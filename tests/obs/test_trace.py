@@ -1,0 +1,115 @@
+"""Tests for the structured trace log and its JSONL export."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import (
+    RingSink,
+    TraceEvent,
+    Tracer,
+    dump_jsonl,
+    export_jsonl,
+)
+
+
+class TestTraceEvent:
+    def test_to_dict_shape(self):
+        event = TraceEvent(1.25, "link.drop",
+                           {"link": "a->b", "size": 1500, "reason": "queue",
+                            "kind": "data"})
+        record = event.to_dict()
+        assert record["t"] == 1.25
+        assert record["type"] == "link.drop"
+        assert record["link"] == "a->b" and record["reason"] == "queue"
+
+    def test_non_finite_fields_sanitized(self):
+        event = TraceEvent(0.0, "transport.cwnd",
+                           {"flow": "f", "cwnd": 1, "in_flight": 0,
+                            "srtt": float("inf")})
+        assert event.to_dict()["srtt"] is None
+
+
+class TestRingSink:
+    def test_caps_and_counts(self):
+        sink = RingSink(capacity=3)
+        for index in range(5):
+            sink.emit(TraceEvent(float(index), "x.y", {}))
+        assert len(sink) == 3
+        assert sink.emitted == 5
+        assert sink.dropped == 2
+        # Oldest events went first.
+        assert [event.time for event in sink.events] == [2.0, 3.0, 4.0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ObservabilityError):
+            RingSink(capacity=0)
+
+    def test_clear(self):
+        sink = RingSink(capacity=2)
+        sink.emit(TraceEvent(0.0, "x.y", {}))
+        sink.clear()
+        assert len(sink) == 0 and sink.emitted == 0 and sink.dropped == 0
+
+    def test_tally(self):
+        sink = RingSink()
+        sink.emit(TraceEvent(0.0, "a.b", {}))
+        sink.emit(TraceEvent(0.1, "a.b", {}))
+        sink.emit(TraceEvent(0.2, "c.d", {}))
+        assert sink.tally() == {"a.b": 2, "c.d": 1}
+
+
+class TestTracer:
+    def test_disabled_emit_is_noop(self):
+        tracer = Tracer()
+        tracer.emit("x.y", 0.0, a=1)
+        assert tracer.events == []
+
+    def test_configure_enables_and_captures(self):
+        tracer = Tracer()
+        sink = tracer.configure(capacity=16)
+        assert tracer.enabled
+        tracer.emit("x.y", 1.0, a=1)
+        assert len(sink) == 1
+        assert sink.events[0].fields == {"a": 1}
+
+    def test_disable_keeps_events_readable(self):
+        tracer = Tracer()
+        tracer.configure()
+        tracer.emit("x.y", 1.0)
+        tracer.disable()
+        tracer.emit("x.y", 2.0)  # ignored
+        assert len(tracer.events) == 1
+
+    def test_reconfigure_replaces_sink(self):
+        tracer = Tracer()
+        tracer.configure()
+        tracer.emit("x.y", 1.0)
+        tracer.configure()
+        assert tracer.events == []
+
+
+class TestJsonlExport:
+    def test_dump_valid_json_lines(self):
+        events = [TraceEvent(0.5, "quack.decode",
+                             {"status": "ok", "missing": 2}),
+                  TraceEvent(1.0, "transport.cwnd",
+                             {"flow": "f", "cwnd": 10, "in_flight": 5,
+                              "srtt": float("nan")})]
+        buffer = io.StringIO()
+        assert dump_jsonl(events, buffer) == 2
+        lines = buffer.getvalue().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["status"] == "ok"
+        assert parsed[1]["srtt"] is None  # nan sanitized, still valid JSON
+
+    def test_export_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [TraceEvent(0.0, "link.deliver",
+                             {"link": "a->b", "kind": "data", "size": 100})]
+        assert export_jsonl(events, str(path)) == 1
+        record = json.loads(path.read_text().strip())
+        assert record == {"t": 0.0, "type": "link.deliver", "link": "a->b",
+                          "kind": "data", "size": 100}

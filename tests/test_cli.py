@@ -117,6 +117,30 @@ class TestExperiments:
         assert "in-network retransmission: False" in out
 
 
+class TestTrace:
+    def test_summary_only(self, capsys):
+        code, out = run_cli(capsys, "trace", "cc-division",
+                            "--total", "60000")
+        assert code == 0
+        assert "scenario: cc-division" in out
+        assert "events by component" in out
+
+    def test_jsonl_export_is_schema_valid(self, capsys, tmp_path):
+        from repro.obs.schema import validate_file
+
+        path = tmp_path / "trace.jsonl"
+        code, out = run_cli(capsys, "trace", "blackout",
+                            "--total", "60000", "--jsonl", str(path))
+        assert code == 0
+        components = validate_file(str(path))
+        for name in ("link", "transport", "quack", "sidecar"):
+            assert components.get(name, 0) > 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "frobnicate"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

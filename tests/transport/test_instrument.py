@@ -57,6 +57,29 @@ class TestConnectionProbe:
         sent = [s.packets_sent for s in probe.samples]
         assert sent == sorted(sent)
 
+    def test_self_stop_no_further_samples(self):
+        sender, receiver, probe = run_probed()
+        sim = probe.sim
+        count = len(probe.samples)
+        sim.run(until=sim.now + 10)
+        assert len(probe.samples) == count
+
+    def test_stop_idempotent(self):
+        sim = Simulator()
+        server, client = Host(sim, "server"), Host(sim, "client")
+        build_path(sim, [server, client], [HopSpec()])
+        ReceiverConnection(sim, client, "server", 1_000_000)
+        sender = SenderConnection(sim, server, "client", 1_000_000)
+        probe = ConnectionProbe(sim, sender, interval_s=0.01)
+        sender.start()
+        sim.run(until=0.05)
+        probe.stop()
+        probe.stop()  # second stop is a no-op, not an error
+        count = len(probe.samples)
+        sim.run(until=1.0)
+        assert len(probe.samples) == count
+        probe.stop()  # stopping an already-finished probe is fine too
+
     def test_manual_stop(self):
         sim = Simulator()
         server, client = Host(sim, "server"), Host(sim, "client")
@@ -88,6 +111,13 @@ class TestAsciiChart:
         assert len(lines[1]) == 6
         # Top row only shows the highest values; bottom row shows all.
         assert lines[1].count("#") < lines[3].count("#")
+
+    def test_single_value(self):
+        chart = ascii_chart([7.0], width=5, height=3, label="one")
+        lines = chart.splitlines()
+        assert "min 7" in lines[0] and "max 7" in lines[0]
+        # One column, painted at least on the bottom row.
+        assert lines[-1].count("#") == 1
 
     def test_flat_series(self):
         chart = ascii_chart([5, 5, 5], width=3, height=2)
