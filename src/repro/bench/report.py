@@ -192,10 +192,10 @@ def chaos_section(seed: int) -> str:
 
 
 def observability_section(total_bytes: int, seed: int = 1) -> str:
+    from repro.obs import format_component_tally
     from repro.obs.runner import run_traced
 
     result = run_traced("cc-division", seed=seed, total_bytes=total_bytes)
-    components = result.components()
     lines = [
         "## Observability (unified trace, `python -m repro trace`)",
         "",
@@ -203,12 +203,9 @@ def observability_section(total_bytes: int, seed: int = 1) -> str:
         f"captured {len(result.events)} events "
         f"({result.events_dropped} dropped by the ring buffer):",
         "",
-        "| component | events |",
-        "|---|---|",
+        format_component_tally(result.components(), markdown=True),
+        "",
     ]
-    for name, count in sorted(components.items()):
-        lines.append(f"| {name} | {count} |")
-    lines.append("")
     spans = result.metrics.get("obs_span_seconds", {}).get("series", [])
     if spans:
         lines.append("Hot-path latency spans (wall clock):")

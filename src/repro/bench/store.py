@@ -1,0 +1,553 @@
+"""Continuous benchmark store: snapshot, persist, and gate on regressions.
+
+The reproduction's performance claims (Table 2 timings, the
+no-overhead-when-disabled observability guarantee, the E7-E9 protocol
+outcomes) were, before this module, numbers that scrolled past in a
+report.  The store makes them durable and comparable:
+
+* :func:`record` runs the collectors for one or more *areas* and writes
+  one ``BENCH_<area>.json`` per area -- schema-versioned, stamped with
+  the git revision and a machine fingerprint, every metric carried as
+  mean/stdev/n with its unit and its improvement direction;
+* :func:`compare_snapshots` diffs a current snapshot against a baseline
+  and renders a threshold-based verdict: a *lower-is-better* metric
+  regresses when ``current > baseline * threshold``, a
+  *higher-is-better* metric when ``current * threshold < baseline``,
+  and ``info`` metrics never gate.
+
+Two kinds of metric live side by side and the direction/threshold
+machinery treats them uniformly:
+
+* **wall-clock timings** (quACK construction/decode, obs hot-path
+  costs) vary across machines, so CI compares them with a deliberately
+  generous threshold (2x) that only trips on order-of-magnitude rot;
+* **virtual-time protocol outcomes** (completion time, goodput, ACK
+  counts from the deterministic simulator) are machine-independent --
+  an identical tree re-run reproduces them bit-for-bit, so *any*
+  movement is a real behavior change.
+
+CLI::
+
+    python -m repro bench record --quick --dir /tmp/bench
+    python -m repro bench compare --current /tmp/bench \
+        --baseline benchmarks/baselines
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import BenchStoreError
+
+#: Version of the on-disk snapshot format.  Readers accept any file with
+#: ``schema <= SCHEMA_VERSION`` (newer writers must stay additive);
+#: a file from a *newer* schema is refused rather than misread.
+SCHEMA_VERSION = 1
+
+#: Valid improvement directions for a metric.
+DIRECTIONS = ("lower", "higher", "info")
+
+#: Default regression threshold (ratio).  Generous on purpose: CI runs
+#: on shared machines, and the store's job is catching order-of-magnitude
+#: rot, not scheduler noise.
+DEFAULT_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One recorded measurement with its gating semantics."""
+
+    name: str
+    mean: float
+    stdev: float = 0.0
+    n: int = 1
+    unit: str = ""
+    #: ``lower`` / ``higher`` (is better) gate comparisons; ``info``
+    #: metrics are recorded and reported but never regress.
+    direction: str = "lower"
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise BenchStoreError(
+                f"metric {self.name!r}: direction must be one of "
+                f"{DIRECTIONS}, got {self.direction!r}")
+
+    def to_dict(self) -> dict:
+        return {"mean": self.mean, "stdev": self.stdev, "n": self.n,
+                "unit": self.unit, "direction": self.direction}
+
+    @classmethod
+    def from_dict(cls, name: str, record: Mapping) -> "Metric":
+        """Decode one metric record, ignoring unknown keys."""
+        try:
+            return cls(
+                name=name,
+                mean=float(record["mean"]),
+                stdev=float(record.get("stdev", 0.0)),
+                n=int(record.get("n", 1)),
+                unit=str(record.get("unit", "")),
+                direction=str(record.get("direction", "lower")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchStoreError(
+                f"metric {name!r}: malformed record {record!r}: "
+                f"{exc}") from exc
+
+
+@dataclass(frozen=True)
+class BenchSnapshot:
+    """One area's recorded metrics plus provenance."""
+
+    area: str
+    metrics: dict[str, Metric]
+    recorded_at: str = ""
+    git_rev: str = "unknown"
+    quick: bool = False
+    fingerprint: dict = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "area": self.area,
+            "recorded_at": self.recorded_at,
+            "git_rev": self.git_rev,
+            "quick": self.quick,
+            "fingerprint": dict(self.fingerprint),
+            "metrics": {name: metric.to_dict()
+                        for name, metric in sorted(self.metrics.items())},
+        }
+
+
+def machine_fingerprint() -> dict:
+    """Enough about this machine to judge snapshot comparability."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+    }
+
+
+def git_revision(cwd: str | None = None) -> str:
+    """The working tree's HEAD, or ``unknown`` outside a repository."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if output.returncode != 0:
+        return "unknown"
+    return output.stdout.strip() or "unknown"
+
+
+# -- collectors ---------------------------------------------------------------
+#
+# One collector per area, each returning {metric name: Metric}.  Quick
+# mode shrinks instance sizes / trial counts for CI; the metric names do
+# not change, so quick and full snapshots still compare (their quick
+# flags are carried so the report can say the comparison is approximate).
+
+def _timing_metric(name: str, result, unit: str = "us",
+                   scale: float = 1e6) -> Metric:
+    return Metric(name=name, mean=result.mean * scale,
+                  stdev=result.stdev * scale, n=result.trials, unit=unit,
+                  direction="lower")
+
+
+def collect_quack(quick: bool = False) -> dict[str, Metric]:
+    """Table 2's power-sum hot path plus the analytic artifacts."""
+    from repro.bench.timing import measure
+    from repro.bench.workloads import make_workload
+    from repro.quack.collision import collision_probability
+    from repro.quack.decoder import decode_delta
+    from repro.quack.power_sum import PowerSumQuack
+
+    n = 300 if quick else 1000
+    trials = 10 if quick else 60
+    threshold, bits = 20, 32
+    workload = make_workload(n=n, num_missing=threshold, bits=bits, seed=0)
+    sent = workload.sent.tolist()
+    received = workload.received.tolist()
+
+    def construct() -> PowerSumQuack:
+        quack = PowerSumQuack(threshold, bits)
+        quack.insert_many(received)
+        return quack
+
+    mine = PowerSumQuack(threshold, bits)
+    mine.insert_many(sent)
+    delta = mine - construct()
+    sent_log = [int(identifier) for identifier in sent]
+
+    construction = measure(construct, trials=trials)
+    decode = measure(lambda: decode_delta(delta, sent_log,
+                                          method="candidates"),
+                     trials=trials)
+    metrics = {
+        f"construct_{n}_us": _timing_metric(f"construct_{n}_us",
+                                            construction),
+        f"decode_{n}_t{threshold}_us": _timing_metric(
+            f"decode_{n}_t{threshold}_us", decode),
+        "quack_bytes": Metric(
+            name="quack_bytes",
+            mean=mine.wire_size_bits() / 8,
+            unit="bytes", direction="lower"),
+        "collision_p_32": Metric(
+            name="collision_p_32",
+            mean=collision_probability(1000, 32),
+            unit="probability", direction="info"),
+    }
+    return metrics
+
+
+def collect_obs(quick: bool = False) -> dict[str, Metric]:
+    """Observability hot-path costs: enabled emit/count, disabled guard."""
+    from repro.bench.timing import measure
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+    batch = 200 if quick else 1000
+    trials = 10 if quick else 40
+
+    enabled = Tracer()
+    enabled.configure(capacity=batch * 2)
+
+    def emit_batch() -> None:
+        for index in range(batch):
+            enabled.emit("transport.send", 0.001 * index, flow="flow0",
+                         pn=index, size=1200)
+
+    disabled = Tracer()
+
+    def guard_batch() -> None:
+        for index in range(batch):
+            if disabled.enabled:
+                disabled.emit("transport.send", 0.001 * index,
+                              flow="flow0", pn=index, size=1200)
+
+    registry = MetricsRegistry()
+
+    def count_batch() -> None:
+        counter = registry.counter("bench_events_total", labels=("flow",))
+        for _ in range(batch):
+            counter.labels(flow="flow0").inc()
+
+    per_event = 1e9 / batch  # seconds/batch -> ns/event
+    return {
+        "emit_enabled_ns": _timing_metric(
+            "emit_enabled_ns", measure(emit_batch, trials=trials),
+            unit="ns", scale=per_event),
+        "emit_disabled_guard_ns": _timing_metric(
+            "emit_disabled_guard_ns", measure(guard_batch, trials=trials),
+            unit="ns", scale=per_event),
+        "counter_inc_ns": _timing_metric(
+            "counter_inc_ns", measure(count_batch, trials=trials),
+            unit="ns", scale=per_event),
+    }
+
+
+def collect_protocols(quick: bool = False) -> dict[str, Metric]:
+    """E7-E9 outcomes from the deterministic virtual-time simulator.
+
+    These are *not* wall-clock: the simulator is seeded and
+    event-ordered, so the numbers are machine-independent and any
+    movement between snapshots of the same tree is a behavior change.
+    """
+    from repro.sidecar.ack_reduction import run_ack_reduction
+    from repro.sidecar.cc_division import run_cc_division
+    from repro.sidecar.retransmission import run_retransmission
+
+    total_bytes = 120_000 if quick else 500_000
+
+    cc = run_cc_division(total_bytes=total_bytes, sidecar=True, seed=1)
+    ack = run_ack_reduction(total_bytes=total_bytes, ack_every=32,
+                            sidecar=True, seed=1)
+    retx = run_retransmission(total_bytes=total_bytes, innet_retx=True,
+                              seed=1)
+
+    def sim_metric(name: str, value: float, unit: str,
+                   direction: str) -> Metric:
+        return Metric(name=name, mean=float(value), stdev=0.0, n=1,
+                      unit=unit, direction=direction)
+
+    return {
+        "cc_division_completion_s": sim_metric(
+            "cc_division_completion_s", cc.completion_time, "s", "lower"),
+        "cc_division_goodput_bps": sim_metric(
+            "cc_division_goodput_bps",
+            total_bytes * 8 / cc.completion_time, "bps", "higher"),
+        "ack_reduction_completion_s": sim_metric(
+            "ack_reduction_completion_s", ack.completion_time, "s",
+            "lower"),
+        "ack_reduction_client_acks": sim_metric(
+            "ack_reduction_client_acks", ack.client_acks_sent, "acks",
+            "lower"),
+        "retransmission_completion_s": sim_metric(
+            "retransmission_completion_s", retx.completion_time, "s",
+            "lower"),
+        "retransmission_proxy_repairs": sim_metric(
+            "retransmission_proxy_repairs", retx.proxy_retransmissions,
+            "packets", "info"),
+    }
+
+
+#: Area name -> collector.  ``record`` runs these.
+COLLECTORS: dict[str, Callable[[bool], dict[str, Metric]]] = {
+    "quack": collect_quack,
+    "obs": collect_obs,
+    "protocols": collect_protocols,
+}
+
+
+# -- persistence --------------------------------------------------------------
+
+def snapshot_path(directory: str, area: str) -> str:
+    return os.path.join(directory, f"BENCH_{area}.json")
+
+
+def record(directory: str, areas: Iterable[str] | None = None,
+           quick: bool = False,
+           progress: Callable[[str], None] | None = None
+           ) -> dict[str, BenchSnapshot]:
+    """Run collectors and write one ``BENCH_<area>.json`` per area."""
+    chosen = tuple(areas) if areas is not None else tuple(sorted(COLLECTORS))
+    unknown = [area for area in chosen if area not in COLLECTORS]
+    if unknown:
+        raise BenchStoreError(
+            f"unknown bench area(s) {', '.join(unknown)}; have "
+            f"{', '.join(sorted(COLLECTORS))}")
+    os.makedirs(directory, exist_ok=True)
+    stamp = _datetime.datetime.now(_datetime.timezone.utc).isoformat(
+        timespec="seconds")
+    rev = git_revision()
+    fingerprint = machine_fingerprint()
+    snapshots: dict[str, BenchSnapshot] = {}
+    for area in chosen:
+        if progress is not None:
+            progress(f"collecting {area}...")
+        snapshot = BenchSnapshot(
+            area=area,
+            metrics=COLLECTORS[area](quick),
+            recorded_at=stamp,
+            git_rev=rev,
+            quick=quick,
+            fingerprint=fingerprint,
+        )
+        path = snapshot_path(directory, area)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        snapshots[area] = snapshot
+    return snapshots
+
+
+def load_snapshot(path: str) -> BenchSnapshot:
+    """Read one snapshot file (forward-compatible within the schema).
+
+    Unknown top-level and per-metric keys are ignored so older readers
+    keep working against additive writers; a file declaring a *newer*
+    schema than this reader supports is refused.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record_ = json.load(handle)
+    except OSError as exc:
+        raise BenchStoreError(f"cannot read snapshot {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchStoreError(
+            f"snapshot {path} is not valid JSON: {exc}") from exc
+    if not isinstance(record_, dict):
+        raise BenchStoreError(f"snapshot {path} must be a JSON object")
+    schema = record_.get("schema")
+    if not isinstance(schema, int) or isinstance(schema, bool):
+        raise BenchStoreError(f"snapshot {path} has no integer 'schema'")
+    if schema > SCHEMA_VERSION:
+        raise BenchStoreError(
+            f"snapshot {path} uses schema {schema}, newer than the "
+            f"supported {SCHEMA_VERSION}; upgrade before comparing")
+    area = record_.get("area")
+    if not isinstance(area, str) or not area:
+        raise BenchStoreError(f"snapshot {path} has no 'area'")
+    raw_metrics = record_.get("metrics")
+    if not isinstance(raw_metrics, dict):
+        raise BenchStoreError(f"snapshot {path} has no 'metrics' object")
+    metrics = {name: Metric.from_dict(name, value)
+               for name, value in raw_metrics.items()
+               if isinstance(value, Mapping)}
+    fingerprint = record_.get("fingerprint")
+    return BenchSnapshot(
+        area=area,
+        metrics=metrics,
+        recorded_at=str(record_.get("recorded_at", "")),
+        git_rev=str(record_.get("git_rev", "unknown")),
+        quick=bool(record_.get("quick", False)),
+        fingerprint=dict(fingerprint)
+        if isinstance(fingerprint, Mapping) else {},
+        schema=schema,
+    )
+
+
+def load_dir(directory: str) -> dict[str, BenchSnapshot]:
+    """Every ``BENCH_*.json`` in ``directory``, keyed by area."""
+    snapshots: dict[str, BenchSnapshot] = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as exc:
+        raise BenchStoreError(
+            f"cannot list snapshot dir {directory}: {exc}") from exc
+    for name in names:
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            snapshot = load_snapshot(os.path.join(directory, name))
+            snapshots[snapshot.area] = snapshot
+    return snapshots
+
+
+# -- comparison ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between baseline and current."""
+
+    name: str
+    unit: str
+    direction: str
+    baseline: float | None
+    current: float | None
+    #: ``current / baseline`` (None when undefined: zero or missing side).
+    ratio: float | None
+    regressed: bool
+    note: str = ""
+
+
+@dataclass
+class AreaComparison:
+    """The verdict for one area."""
+
+    area: str
+    deltas: list[MetricDelta]
+    baseline_quick: bool = False
+    current_quick: bool = False
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _delta(metric_name: str, baseline: Metric | None,
+           current: Metric | None, threshold: float) -> MetricDelta:
+    if baseline is None:
+        assert current is not None
+        return MetricDelta(
+            name=metric_name, unit=current.unit,
+            direction=current.direction, baseline=None,
+            current=current.mean, ratio=None, regressed=False,
+            note="new metric (no baseline)")
+    if current is None:
+        return MetricDelta(
+            name=metric_name, unit=baseline.unit,
+            direction=baseline.direction, baseline=baseline.mean,
+            current=None, ratio=None, regressed=True,
+            note="metric disappeared from current snapshot")
+    direction = baseline.direction
+    ratio = (current.mean / baseline.mean) if baseline.mean else None
+    regressed = False
+    note = ""
+    if direction == "lower":
+        regressed = current.mean > baseline.mean * threshold \
+            and current.mean > 0
+    elif direction == "higher":
+        regressed = current.mean * threshold < baseline.mean
+    if baseline.mean == 0 and current.mean != 0 and direction != "info":
+        regressed, note = True, "moved off a zero baseline"
+    return MetricDelta(name=metric_name, unit=baseline.unit,
+                       direction=direction, baseline=baseline.mean,
+                       current=current.mean, ratio=ratio,
+                       regressed=regressed, note=note)
+
+
+def compare_snapshots(current: BenchSnapshot, baseline: BenchSnapshot,
+                      threshold: float = DEFAULT_THRESHOLD
+                      ) -> AreaComparison:
+    """Diff two snapshots of one area with the threshold verdict."""
+    if current.area != baseline.area:
+        raise BenchStoreError(
+            f"cannot compare area {current.area!r} against baseline "
+            f"area {baseline.area!r}")
+    if threshold <= 1.0:
+        raise BenchStoreError(
+            f"threshold must be > 1.0 (a ratio), got {threshold}")
+    names = sorted(set(current.metrics) | set(baseline.metrics))
+    deltas = [_delta(name, baseline.metrics.get(name),
+                     current.metrics.get(name), threshold)
+              for name in names]
+    return AreaComparison(area=current.area, deltas=deltas,
+                          baseline_quick=baseline.quick,
+                          current_quick=current.quick)
+
+
+def compare_dirs(current_dir: str, baseline_dir: str,
+                 threshold: float = DEFAULT_THRESHOLD
+                 ) -> list[AreaComparison]:
+    """Compare every area present in *both* directories.
+
+    Areas only on one side are skipped (a new area has no baseline to
+    gate against; record one).  An empty intersection is an error -- a
+    comparison that compares nothing should not pass CI silently.
+    """
+    current = load_dir(current_dir)
+    baseline = load_dir(baseline_dir)
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        raise BenchStoreError(
+            f"no common bench areas between {current_dir} "
+            f"(has {sorted(current) or 'nothing'}) and {baseline_dir} "
+            f"(has {sorted(baseline) or 'nothing'})")
+    return [compare_snapshots(current[area], baseline[area],
+                              threshold=threshold)
+            for area in shared]
+
+
+def format_comparison(comparisons: Iterable[AreaComparison],
+                      threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Human-readable verdict table for ``bench compare``."""
+    lines: list[str] = []
+    total_regressions = 0
+    for comparison in comparisons:
+        quick_note = ""
+        if comparison.baseline_quick != comparison.current_quick:
+            quick_note = "  (quick/full mismatch -- approximate)"
+        lines.append(f"area {comparison.area}:{quick_note}")
+        for delta in comparison.deltas:
+            ratio = f"{delta.ratio:.2f}x" if delta.ratio is not None else "-"
+            baseline = (f"{delta.baseline:,.4g}"
+                        if delta.baseline is not None else "-")
+            current = (f"{delta.current:,.4g}"
+                       if delta.current is not None else "-")
+            marker = "REGRESSED" if delta.regressed else "ok"
+            note = f"  [{delta.note}]" if delta.note else ""
+            lines.append(
+                f"  {marker:<9s} {delta.name:<32s} "
+                f"{baseline:>12s} -> {current:>12s} {delta.unit:<11s} "
+                f"({ratio}, {delta.direction}){note}")
+        total_regressions += len(comparison.regressions)
+    lines.append("")
+    if total_regressions:
+        lines.append(f"FAIL: {total_regressions} metric(s) regressed "
+                     f"past the {threshold:g}x threshold")
+    else:
+        lines.append(f"OK: no metric moved past the {threshold:g}x "
+                     f"threshold")
+    return "\n".join(lines)

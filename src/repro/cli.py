@@ -13,7 +13,13 @@ Subcommands:
   robustness invariants (exit status 1 if any is violated);
 * ``trace``         -- run a scenario with the :mod:`repro.obs` layer
   enabled, exporting the structured trace as JSONL and/or printing a
-  metrics summary.
+  metrics summary;
+* ``analyze``       -- derive per-connection timelines, loss-recovery
+  attribution, quACK decode health, and health-ladder dwell times from
+  an exported JSONL trace;
+* ``bench``         -- record benchmark snapshots (``BENCH_<area>.json``)
+  or compare a snapshot directory against a baseline with a
+  threshold-based regression verdict (exit status 1 on regression).
 
 Examples::
 
@@ -25,6 +31,10 @@ Examples::
     python -m repro chaos blackout --seed 1
     python -m repro chaos all
     python -m repro trace cc-division --jsonl trace.jsonl --summary
+    python -m repro analyze trace.jsonl
+    python -m repro bench record --quick --dir /tmp/bench
+    python -m repro bench compare --current /tmp/bench \\
+        --baseline benchmarks/baselines
 """
 
 from __future__ import annotations
@@ -233,6 +243,70 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- analyze --------------------------------------------------------------------
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import analyze, load_trace
+
+    try:
+        trace = load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    analysis = analyze(trace)
+    flows = args.flow if args.flow else None
+    if flows:
+        unknown = [flow for flow in flows
+                   if flow not in analysis.connections]
+        if unknown:
+            print(f"error: no such flow(s): {', '.join(unknown)} "
+                  f"(trace has: "
+                  f"{', '.join(sorted(analysis.connections)) or 'none'})",
+                  file=sys.stderr)
+            return 2
+    if args.markdown:
+        print(analysis.render_markdown(flows=flows))
+    else:
+        print(analysis.render_text(width=args.width, flows=flows))
+    if analysis.malformed:
+        print(f"warning: skipped {analysis.malformed} malformed lines",
+              file=sys.stderr)
+    return 0
+
+
+# -- bench ----------------------------------------------------------------------
+
+def cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.bench.store import record, snapshot_path
+    from repro.errors import BenchStoreError
+
+    areas = args.areas.split(",") if args.areas else None
+    try:
+        snapshots = record(args.dir, areas=areas, quick=args.quick,
+                           progress=lambda m: print(m, file=sys.stderr))
+    except BenchStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for area in sorted(snapshots):
+        print(f"wrote {snapshot_path(args.dir, area)} "
+              f"({len(snapshots[area].metrics)} metrics)")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench.store import compare_dirs, format_comparison
+    from repro.errors import BenchStoreError
+
+    try:
+        comparisons = compare_dirs(args.current, args.baseline,
+                                   threshold=args.threshold)
+    except BenchStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_comparison(comparisons, threshold=args.threshold))
+    return 0 if all(comparison.ok for comparison in comparisons) else 1
+
+
 # -- parser -----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -317,6 +391,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace ring-buffer capacity in events")
     trace.set_defaults(func=cmd_trace)
 
+    analyze = sub.add_parser(
+        "analyze", help="derive timelines/attribution from a JSONL trace")
+    analyze.add_argument("trace", help="trace file written by "
+                                       "'repro trace --jsonl'")
+    analyze.add_argument("--markdown", action="store_true",
+                         help="emit a markdown document instead of the "
+                              "terminal report")
+    analyze.add_argument("--flow", action="append", default=[],
+                         metavar="FLOW",
+                         help="restrict connection sections to this flow "
+                              "(repeatable)")
+    analyze.add_argument("--width", type=int, default=72,
+                         help="chart width in characters")
+    analyze.set_defaults(func=cmd_analyze)
+
+    bench = sub.add_parser(
+        "bench", help="record/compare benchmark snapshots")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_record = bench_sub.add_parser(
+        "record", help="run collectors, write BENCH_<area>.json files")
+    bench_record.add_argument("--dir", default="benchmarks/baselines",
+                              help="output directory for snapshot files")
+    bench_record.add_argument("--areas", default="",
+                              help="comma-separated areas "
+                                   "(default: all: obs,protocols,quack)")
+    bench_record.add_argument("--quick", action="store_true",
+                              help="smaller instances / fewer trials (CI)")
+    bench_record.set_defaults(func=cmd_bench_record)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff snapshots against a baseline (exit 1 on "
+                        "regression)")
+    bench_compare.add_argument("--current", required=True,
+                               help="directory of freshly recorded "
+                                    "snapshots")
+    bench_compare.add_argument("--baseline", default="benchmarks/baselines",
+                               help="directory of baseline snapshots")
+    bench_compare.add_argument("--threshold", type=float, default=2.0,
+                               help="regression ratio (must be > 1.0)")
+    bench_compare.set_defaults(func=cmd_bench_compare)
+
     headroom = sub.add_parser(
         "headroom", help="threshold survival vs loss burstiness (E11)")
     headroom.add_argument("--loss", type=float, default=0.02)
@@ -371,7 +487,16 @@ def cmd_report(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.  Detach
+        # stdout first so the interpreter's shutdown flush cannot raise
+        # the same error again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

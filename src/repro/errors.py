@@ -81,3 +81,12 @@ class ObservabilityError(ReproError, ValueError):
 
 class TransportError(SimulationError):
     """Protocol violation inside the paranoid transport implementation."""
+
+
+class BenchStoreError(ReproError, ValueError):
+    """A benchmark snapshot could not be written, read, or compared.
+
+    Raised for malformed ``BENCH_<area>.json`` files, snapshots written
+    by a newer schema than this reader supports, unknown bench areas,
+    and comparisons with nothing in common.
+    """

@@ -54,12 +54,21 @@ from repro.obs.metrics import (
     json_safe,
 )
 from repro.obs.profile import SPAN_METRIC, Profiler
-from repro.obs.trace import RingSink, TraceEvent, Tracer, dump_jsonl, export_jsonl
+from repro.obs.trace import (
+    RingSink,
+    TraceEvent,
+    Tracer,
+    component_tally,
+    dump_jsonl,
+    export_jsonl,
+    format_component_tally,
+)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
     "DEFAULT_BUCKETS", "json_safe",
     "TraceEvent", "RingSink", "Tracer", "dump_jsonl", "export_jsonl",
+    "component_tally", "format_component_tally",
     "Profiler", "SPAN_METRIC",
     "TRACER", "METRICS", "PROFILER",
     "enable", "disable", "reset", "count", "gauge", "observe",

@@ -17,8 +17,8 @@ from typing import Any
 
 from repro import obs
 from repro.errors import ObservabilityError
-from repro.obs.schema import CORE_COMPONENTS, component_of
-from repro.obs.trace import TraceEvent
+from repro.obs.schema import CORE_COMPONENTS
+from repro.obs.trace import TraceEvent, component_tally, format_component_tally
 
 #: The protocol experiments the runner knows how to drive.
 EXPERIMENT_SCENARIOS = ("cc-division", "ack-reduction", "retransmission")
@@ -46,11 +46,7 @@ class TraceRunResult:
 
     def components(self) -> dict[str, int]:
         """Event counts by component prefix (link/transport/quack/...)."""
-        tally: dict[str, int] = {}
-        for event in self.events:
-            component = component_of(event.type)
-            tally[component] = tally.get(component, 0) + 1
-        return tally
+        return component_tally(self.events)
 
     def missing_core_components(self) -> list[str]:
         """Core components that produced no events (should be empty)."""
@@ -123,10 +119,15 @@ def summarize(result: TraceRunResult) -> str:
         f"({result.events_emitted} emitted, {result.events_dropped} "
         f"dropped by the ring)",
     ]
+    if result.events_dropped:
+        lines.append(
+            f"WARNING: ring buffer truncated the trace "
+            f"({result.events_dropped} oldest events dropped); analyses of "
+            f"this trace are incomplete")
     components = result.components()
     if components:
-        lines.append("events by component: " + ", ".join(
-            f"{name}={count}" for name, count in sorted(components.items())))
+        lines.append("events by component: "
+                     + format_component_tally(components))
     missing = result.missing_core_components()
     if missing:
         lines.append(f"WARNING: no events from: {', '.join(missing)}")

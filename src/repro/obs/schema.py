@@ -41,7 +41,13 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
                        "effect": STRING},
     # -- transport ------------------------------------------------------
     "transport.send": {"flow": STRING, "pn": NUMBER, "size": NUMBER},
-    "transport.retransmit": {"flow": STRING, "pn": NUMBER, "size": NUMBER},
+    # ``cause`` attributes the retransmission to its loss-detection path
+    # (quack = sidecar decode, ack = e2e ACK evidence, pto = probe
+    # timeout); ``latency`` is the virtual time from the original
+    # transmission to the loss declaration (the detection latency the
+    # analytics engine aggregates per cause).
+    "transport.retransmit": {"flow": STRING, "pn": NUMBER, "size": NUMBER,
+                             "cause": STRING, "latency": NUMBER},
     "transport.cwnd": {"flow": STRING, "cwnd": NUMBER,
                        "in_flight": NUMBER, "srtt": NUMBER},
     "transport.loss": {"flow": STRING, "pn": NUMBER, "trigger": STRING,
@@ -55,6 +61,10 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     "quack.decode": {"status": STRING, "missing": NUMBER},
     # -- sidecar --------------------------------------------------------
     "sidecar.quack_emit": {"role": STRING, "flow": STRING, "epoch": NUMBER},
+    # A PEP-to-PEP local repair (Section 2.3): always quACK-caused, with
+    # the same detection-latency semantics as ``transport.retransmit``.
+    "sidecar.retransmit": {"flow": STRING, "cause": STRING,
+                           "latency": NUMBER},
     "sidecar.wire_error": {"flow": STRING},
     "sidecar.reset": {"flow": STRING, "epoch": NUMBER, "reason": STRING},
     "sidecar.reset_retry": {"flow": STRING, "epoch": NUMBER},

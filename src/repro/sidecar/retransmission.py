@@ -113,6 +113,11 @@ class SenderSideRetxProxy:
             self.consumer.record_send(lost_packet.identifier, lost_packet,
                                       self.sim.now)
             self.stats.retransmitted += 1
+            if obs.TRACER.enabled:
+                obs.TRACER.emit("sidecar.retransmit", self.sim.now,
+                                flow=self.flow_id, cause="quack",
+                                latency=self.sim.now - lost_packet.created_at)
+                obs.count("sidecar_retransmissions_total", cause="quack")
             self.router.emit(lost_packet)
 
     def observed_loss_ratio(self) -> float:

@@ -54,6 +54,13 @@ from repro.transport.rtt import RttEstimator
 #: Packet-number threshold for loss detection (RFC 9002: kPacketThreshold).
 PACKET_REORDER_THRESHOLD = 3
 
+#: Loss-detection trigger -> retransmit cause tag for trace attribution.
+#: ``quack`` = a sidecar quACK decode declared the loss, ``ack`` = e2e ACK
+#: range evidence (packet or time threshold), ``pto`` = the probe-timeout
+#: backstop fired blind.
+RETRANSMIT_CAUSES = {"sidecar": "quack", "reorder": "ack", "time": "ack",
+                     "pto": "pto"}
+
 #: Upper bound on PTO exponential backoff doublings.
 MAX_PTO_BACKOFF = 6
 
@@ -152,7 +159,10 @@ class SenderConnection:
 
         self._next_packet_number = 0
         self._next_offset = 0
-        self._retx_queue: list[tuple[int, int]] = []  # (offset, length)
+        #: (offset, length, cause, detect_latency): what to resend, why the
+        #: loss was declared (quack/ack/pto), and the virtual time between
+        #: the original transmission and the declaration.
+        self._retx_queue: list[tuple[int, int, str, float]] = []
         self._pacing_handle: EventHandle | None = None
         self._next_send_allowed = 0.0
         self._pto_handle: EventHandle | None = None
@@ -296,12 +306,12 @@ class SenderConnection:
             chunk = self._next_chunk()
             if chunk is None:
                 break
-            offset, length, is_retx = chunk
+            offset, length, retx = chunk
             size = HEADER_BYTES + length
             if not self.cc.can_send(self.bytes_in_flight, size):
-                self._push_back_chunk(offset, length, is_retx)
+                self._push_back_chunk(offset, length, retx)
                 break
-            self._transmit(offset, length, is_retransmission=is_retx)
+            self._transmit(offset, length, retx=retx)
             if self.pacing:
                 interval = size * 8 / self._pacing_rate_bps()
                 self._next_send_allowed = max(
@@ -328,36 +338,42 @@ class SenderConnection:
         self._pacing_handle = None
         self._maybe_send()
 
-    def _next_chunk(self) -> tuple[int, int, bool] | None:
-        """The next (offset, length, is_retx) to put on the wire, retx first."""
+    def _next_chunk(self) -> tuple[int, int, tuple[str, float] | None] | None:
+        """The next (offset, length, retx) to put on the wire, retx first.
+
+        ``retx`` is None for fresh data, or ``(cause, detect_latency)`` for
+        a retransmission (threaded into the trace event so analysis never
+        has to re-infer causality from event ordering).
+        """
         if self._retx_queue:
-            offset, length = self._retx_queue.pop(0)
-            return offset, length, True
+            offset, length, cause, latency = self._retx_queue.pop(0)
+            return offset, length, (cause, latency)
         if self.chunk_source is not None:
             chunk = self.chunk_source.next_chunk()
             if chunk is None:
                 return None
             offset, length = chunk
-            return offset, length, False
+            return offset, length, None
         if self._next_offset < self.total_bytes:
             length = min(self.mss, self.total_bytes - self._next_offset)
             offset = self._next_offset
             self._next_offset += length
-            return offset, length, False
+            return offset, length, None
         return None
 
     def _push_back_chunk(self, offset: int, length: int,
-                         is_retx: bool) -> None:
+                         retx: tuple[str, float] | None) -> None:
         """Return an unsent chunk to the front of its queue."""
-        if is_retx:
-            self._retx_queue.insert(0, (offset, length))
+        if retx is not None:
+            self._retx_queue.insert(0, (offset, length, *retx))
         elif self.chunk_source is not None:
             self.chunk_source.push_back(offset, length)
         else:
             self._next_offset = offset  # it was fresh data; rewind
 
     def _transmit(self, offset: int, length: int,
-                  is_retransmission: bool = False) -> SentPacketRecord:
+                  retx: tuple[str, float] | None = None) -> SentPacketRecord:
+        is_retransmission = retx is not None
         pn = self._next_packet_number
         self._next_packet_number += 1
         fin = offset + length >= self.total_bytes
@@ -385,10 +401,16 @@ class SenderConnection:
             self.stats.retransmitted_packets += 1
         self.cc.on_packet_sent(size, self.sim.now)
         if obs.TRACER.enabled:
-            etype = "transport.retransmit" if is_retransmission \
-                else "transport.send"
-            obs.TRACER.emit(etype, self.sim.now, flow=self.flow_id, pn=pn,
-                            size=size)
+            if retx is not None:
+                cause, latency = retx
+                obs.TRACER.emit("transport.retransmit", self.sim.now,
+                                flow=self.flow_id, pn=pn, size=size,
+                                cause=cause, latency=latency)
+                obs.count("transport_retransmits_total", flow=self.flow_id,
+                          cause=cause)
+            else:
+                obs.TRACER.emit("transport.send", self.sim.now,
+                                flow=self.flow_id, pn=pn, size=size)
             obs.count("transport_packets_sent_total", flow=self.flow_id,
                       retx=is_retransmission)
         self.host.send(packet, via=self.via)
@@ -492,7 +514,10 @@ class SenderConnection:
             self.bytes_in_flight -= record.size_bytes
         if not self.acked_offsets.covers_contiguously(
                 record.offset, record.offset + record.length - 1):
-            self._retx_queue.append((record.offset, record.length))
+            self._retx_queue.append(
+                (record.offset, record.length,
+                 RETRANSMIT_CAUSES.get(trigger, trigger),
+                 now - record.time_sent))
         if congestion:
             self.cc.on_congestion_event(record.time_sent, now)
 

@@ -60,6 +60,14 @@ class TestRingSink:
         sink.emit(TraceEvent(0.2, "c.d", {}))
         assert sink.tally() == {"a.b": 2, "c.d": 1}
 
+    def test_tally_surfaces_drops(self):
+        sink = RingSink(capacity=2)
+        for index in range(5):
+            sink.emit(TraceEvent(float(index), "a.b", {}))
+        tally = sink.tally()
+        assert tally["dropped_events"] == 3
+        assert tally["a.b"] == 2  # only what the ring still holds
+
 
 class TestTracer:
     def test_disabled_emit_is_noop(self):

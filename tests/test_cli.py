@@ -174,3 +174,87 @@ class TestChaos:
     def test_unknown_plan_rejected(self):
         with pytest.raises(SystemExit):
             main(["chaos", "frobnicate"])
+
+
+class TestAnalyze:
+    def _trace_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(capsys, "trace", "retransmission",
+                          "--total", "120000", "--jsonl", str(path))
+        assert code == 0
+        return path
+
+    def test_analyze_reports_attribution(self, capsys, tmp_path):
+        path = self._trace_file(capsys, tmp_path)
+        code, out = run_cli(capsys, "analyze", str(path))
+        assert code == 0
+        assert "loss-recovery attribution" in out
+        assert "quACK decode health" in out
+        assert "connection flow0" in out
+
+    def test_analyze_markdown(self, capsys, tmp_path):
+        path = self._trace_file(capsys, tmp_path)
+        code, out = run_cli(capsys, "analyze", str(path), "--markdown")
+        assert code == 0
+        assert "## Loss-recovery attribution" in out
+
+    def test_analyze_tolerates_garbage_lines(self, capsys, tmp_path):
+        path = self._trace_file(capsys, tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("this is not json\n{broken\n")
+        code, out = run_cli(capsys, "analyze", str(path))
+        assert code == 0
+        assert "2 malformed lines skipped" in out
+
+    def test_analyze_missing_file(self, capsys, tmp_path):
+        code, _ = run_cli(capsys, "analyze", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+
+    def test_analyze_unknown_flow(self, capsys, tmp_path):
+        path = self._trace_file(capsys, tmp_path)
+        code, _ = run_cli(capsys, "analyze", str(path), "--flow", "flow9")
+        assert code == 2
+
+
+class TestBench:
+    def test_record_then_compare_clean(self, capsys, tmp_path):
+        base = tmp_path / "base"
+        code, out = run_cli(capsys, "bench", "record", "--quick",
+                            "--areas", "protocols", "--dir", str(base))
+        assert code == 0
+        assert "BENCH_protocols.json" in out
+        code, out = run_cli(capsys, "bench", "compare",
+                            "--current", str(base),
+                            "--baseline", str(base))
+        assert code == 0
+        assert "OK: no metric moved" in out
+
+    def test_compare_flags_injected_regression(self, capsys, tmp_path):
+        import json as _json
+
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        code, _ = run_cli(capsys, "bench", "record", "--quick",
+                          "--areas", "protocols", "--dir", str(base))
+        assert code == 0
+        cur.mkdir()
+        path = base / "BENCH_protocols.json"
+        raw = _json.loads(path.read_text())
+        raw["metrics"]["retransmission_completion_s"]["mean"] *= 3
+        (cur / "BENCH_protocols.json").write_text(_json.dumps(raw))
+        code, out = run_cli(capsys, "bench", "compare",
+                            "--current", str(cur), "--baseline", str(base))
+        assert code == 1
+        assert "REGRESSED" in out and "FAIL" in out
+
+    def test_record_unknown_area(self, capsys, tmp_path):
+        code, _ = run_cli(capsys, "bench", "record", "--areas", "nope",
+                          "--dir", str(tmp_path))
+        assert code == 2
+
+    def test_compare_empty_dirs(self, capsys, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        code, _ = run_cli(capsys, "bench", "compare",
+                          "--current", str(tmp_path / "a"),
+                          "--baseline", str(tmp_path / "b"))
+        assert code == 2

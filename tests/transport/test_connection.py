@@ -258,3 +258,38 @@ class TestThroughHopPath:
         assert receiver.complete
         # Goodput bounded by the narrow hop.
         assert receiver.monitor.goodput_bps() < 10e6
+
+
+class TestRetransmitAttribution:
+    """Retransmit trace events must carry their loss-detection cause."""
+
+    def _traced_lossy_run(self, **sender_kwargs):
+        from repro import obs
+
+        sim, sender, receiver, _ = make_pair(
+            total_bytes=200_000,
+            hops=[HopSpec(bandwidth_bps=10e6, delay_s=0.01,
+                          loss_up=BernoulliLoss(0.05, random.Random(7)))],
+            sender_kwargs=sender_kwargs)
+        sink = obs.enable()
+        try:
+            sender.start()
+            sim.run(until=60)
+            events = sink.events
+        finally:
+            obs.disable()
+            obs.reset()
+        assert receiver.complete
+        return sender, events
+
+    def test_every_retransmit_event_tagged(self):
+        sender, events = self._traced_lossy_run()
+        retransmits = [event for event in events
+                       if event.type == "transport.retransmit"]
+        assert len(retransmits) >= 1
+        assert len(retransmits) == sender.stats.retransmitted_packets
+        for event in retransmits:
+            assert event.fields["cause"] in ("quack", "ack", "pto")
+            assert event.fields["latency"] > 0
+            # detection can never beat the one-way delay of the path
+            assert event.fields["latency"] >= 0.01
