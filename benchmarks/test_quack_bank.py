@@ -62,6 +62,28 @@ def test_bank_batched(benchmark, mixed_batch):
     benchmark.extra_info["flows"] = FLOWS
 
 
+def test_bank_scalar_observe(benchmark, mixed_batch):
+    """The unbatched path: one direct scalar update per packet.
+
+    Before the scalar fast path this allocated two 1-element numpy
+    arrays per packet and paid the full vectorized setup at batch size
+    one -- an order of magnitude slower than this.
+    """
+    flows, ids = mixed_batch
+    flow_list = flows.tolist()[:512]
+    id_list = ids.tolist()[:512]
+
+    def run():
+        bank = QuackBank(FLOWS, THRESHOLD)
+        for flow, identifier in zip(flow_list, id_list):
+            bank.observe(flow, identifier)
+        return bank
+
+    benchmark(run)
+    benchmark.extra_info["packets"] = len(flow_list)
+    benchmark.extra_info["flows"] = FLOWS
+
+
 def test_bank_speedup_and_equivalence(benchmark, mixed_batch):
     """The headline number: batched ns/packet vs interpreted ns/packet."""
     from repro.bench.timing import measure

@@ -1,0 +1,68 @@
+"""Sweep engine scaling: 4 workers vs serial on a 32-cell matrix.
+
+The acceptance bar from the sweep engine's design: a 32-cell sweep on
+4 workers finishes at least 2x faster than the serial run *and*
+produces a byte-identical aggregate once wall-clock fields are
+stripped.  Cells here are latency-bound (``sleep_s``) rather than
+CPU-bound so the speedup is demonstrable on single-core CI boxes; the
+determinism half of the claim is the part that is hard to get right.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.timing import measure
+from repro.sweep import SweepSpec, run_sweep, strip_timing
+
+CELL_SLEEP_S = 0.05
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SweepSpec.from_dict({
+        "name": "scaling", "scenario": "selftest", "seed": 21,
+        "base": {"sleep_s": CELL_SLEEP_S, "work": 32},
+        "grid": {"a": [0, 1, 2, 3], "b": [0, 1], "c": [0, 1, 2, 3]},
+    })
+
+
+def test_parallel_speedup_with_identical_aggregates(benchmark, spec):
+    assert spec.num_cells == 32
+
+    aggregates = {}
+
+    def sweep(workers):
+        aggregates[workers] = run_sweep(spec, workers=workers)
+
+    serial = measure(lambda: sweep(1), trials=1, warmup=0).mean
+    parallel = measure(lambda: sweep(4), trials=1, warmup=0).mean
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    speedup = serial / parallel
+    benchmark.extra_info["cells"] = spec.num_cells
+    benchmark.extra_info["serial_s"] = round(serial, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 2.0, (serial, parallel)
+
+    stripped_serial = strip_timing(aggregates[1].to_dict())
+    stripped_parallel = strip_timing(aggregates[4].to_dict())
+    assert json.dumps(stripped_serial, sort_keys=True) \
+        == json.dumps(stripped_parallel, sort_keys=True)
+
+
+def test_parallel_overhead_on_trivial_cells(benchmark, spec):
+    """The fixed cost of the pool itself, for the docs' guidance that
+    sub-millisecond cells should run serially."""
+    tiny = SweepSpec.from_dict({
+        "name": "tiny", "scenario": "selftest", "seed": 21,
+        "grid": {"a": [0, 1, 2, 3]},
+    })
+
+    def run():
+        return run_sweep(tiny, workers=2)
+
+    aggregate = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert aggregate.ok
+    benchmark.extra_info["cells"] = tiny.num_cells

@@ -342,12 +342,77 @@ def record(directory: str, areas: Iterable[str] | None = None,
             quick=quick,
             fingerprint=fingerprint,
         )
-        path = snapshot_path(directory, area)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_snapshot(snapshot, directory)
         snapshots[area] = snapshot
     return snapshots
+
+
+def snapshot_from_sweep(aggregate: Mapping,
+                        quick: bool = False) -> BenchSnapshot:
+    """Flatten a sweep aggregate into a bench snapshot.
+
+    Every numeric scalar in each ``ok`` cell's result becomes a metric
+    sample; samples with the same key are pooled across cells as
+    mean/stdev/n.  All sweep metrics are deterministic virtual-time
+    outcomes, so they are recorded with direction ``info`` (sweeps gate
+    on their own determinism tests, not on the 2x timing threshold) --
+    except ``sweep_failed_cells``, which is ``lower``-is-better and
+    *does* gate: a sweep that starts failing cells is a regression.
+
+    The area name is ``sweep_<name>``, so ``BENCH_sweep_<name>.json``
+    sits beside the collector-produced snapshots and flows through
+    :func:`compare_dirs` unchanged.
+    """
+    if not isinstance(aggregate, Mapping) \
+            or aggregate.get("kind") != "sweep-aggregate":
+        raise BenchStoreError(
+            "snapshot_from_sweep needs a sweep aggregate dict "
+            "(kind == 'sweep-aggregate')")
+    name = aggregate.get("name")
+    if not isinstance(name, str) or not name:
+        raise BenchStoreError("sweep aggregate has no 'name'")
+    samples: dict[str, list[float]] = {}
+    for cell in aggregate.get("cells", ()):
+        if cell.get("status") != "ok" \
+                or not isinstance(cell.get("result"), Mapping):
+            continue
+        for key, value in cell["result"].items():
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                continue
+            samples.setdefault(key, []).append(float(value))
+    metrics: dict[str, Metric] = {}
+    for key, values in sorted(samples.items()):
+        mean = sum(values) / len(values)
+        variance = (sum((v - mean) ** 2 for v in values)
+                    / (len(values) - 1)) if len(values) > 1 else 0.0
+        metrics[key] = Metric(name=key, mean=mean,
+                              stdev=variance ** 0.5, n=len(values),
+                              direction="info")
+    summary = aggregate.get("summary", {})
+    metrics["sweep_failed_cells"] = Metric(
+        name="sweep_failed_cells",
+        mean=float(summary.get("failed", 0)),
+        n=1, unit="cells", direction="lower")
+    return BenchSnapshot(
+        area=f"sweep_{name}",
+        metrics=metrics,
+        recorded_at=_datetime.datetime.now(
+            _datetime.timezone.utc).isoformat(timespec="seconds"),
+        git_rev=git_revision(),
+        quick=quick,
+        fingerprint=machine_fingerprint(),
+    )
+
+
+def write_snapshot(snapshot: BenchSnapshot, directory: str) -> str:
+    """Persist one snapshot as ``BENCH_<area>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = snapshot_path(directory, snapshot.area)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def load_snapshot(path: str) -> BenchSnapshot:

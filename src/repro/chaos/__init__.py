@@ -20,6 +20,8 @@ from repro.chaos.harness import (
     ChaosResult,
     ChaosSetup,
     format_result,
+    result_to_dict,
+    run_chaos_spec,
     run_chaos_transfer,
     run_plan,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "ChaosResult",
     "run_chaos_transfer",
     "run_plan",
+    "run_chaos_spec",
+    "result_to_dict",
     "format_result",
     "PLANS",
     "DEFAULT_TOTAL",

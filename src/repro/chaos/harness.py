@@ -36,6 +36,7 @@ from repro.netsim.faults import (
     FaultInjector,
 )
 from repro.netsim.node import Host, Router
+from repro.netsim.packet import reset_packet_uids
 from repro.netsim.topology import HopSpec, PathTopology, build_path
 from repro.sidecar.agents import ProxyEmitterTap, ServerSidecar
 from repro.sidecar.frequency import PacketCountFrequency
@@ -145,6 +146,7 @@ def run_chaos_transfer(setup: ChaosSetup, *,
     if health is None:
         health = HealthConfig(degrade_after=2, e2e_only_after=6,
                               stale_after=0.25, probation=0.25)
+    reset_packet_uids()
     sim = Simulator()
     server = Host(sim, "server")
     proxy = Router(sim, "proxy")
@@ -280,6 +282,52 @@ def run_plan(name: str, seed: int = 1, **kwargs) -> ChaosResult:
         raise ValueError(
             f"unknown chaos plan {name!r}; have {', '.join(sorted(PLANS))}")
     return run_chaos_transfer(factory(seed), seed=seed, **kwargs)
+
+
+def result_to_dict(result: ChaosResult) -> dict:
+    """Flatten a :class:`ChaosResult` into a JSON-safe dict.
+
+    Enums become their string values and the transition audit trail a
+    list of plain dicts, so the output survives ``json.dumps`` -- the
+    contract of the :mod:`repro.sweep` spec entry points.
+    """
+    return {
+        "plan": result.plan,
+        "seed": result.seed,
+        "total_bytes": result.total_bytes,
+        "completed": result.completed,
+        "duration_s": result.duration_s,
+        "bytes_received": result.bytes_received,
+        "emitter_epoch": result.emitter_epoch,
+        "server_epoch": result.server_epoch,
+        "health_final": result.health_final.value,
+        "health_transitions": [
+            {"time": hop.time, "old": hop.old.value, "new": hop.new.value,
+             "reason": hop.reason}
+            for hop in result.health_transitions],
+        "server_counters": dict(result.server_counters),
+        "emitter_counters": dict(result.emitter_counters),
+        "injector_stats": dict(result.injector_stats),
+        "crashes": result.crashes,
+        "faults_dropped": result.faults_dropped,
+        "faults_corrupted": result.faults_corrupted,
+        "faults_duplicated": result.faults_duplicated,
+        "wire_errors_seen": result.wire_errors_seen,
+        "control_corruptions_seen": result.control_corruptions_seen,
+        "invariant_violations": result.violations(),
+        "ok": result.ok,
+    }
+
+
+def run_chaos_spec(params: dict) -> dict:
+    """Spec entry point for :mod:`repro.sweep`: params dict -> result dict.
+
+    ``params`` must carry a ``plan`` key naming one of :data:`PLANS`;
+    the rest is forwarded to :func:`run_chaos_transfer`.
+    """
+    kwargs = dict(params)
+    plan = kwargs.pop("plan")
+    return result_to_dict(run_plan(plan, **kwargs))
 
 
 def format_result(result: ChaosResult) -> str:

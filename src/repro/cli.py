@@ -19,7 +19,10 @@ Subcommands:
   an exported JSONL trace;
 * ``bench``         -- record benchmark snapshots (``BENCH_<area>.json``)
   or compare a snapshot directory against a baseline with a
-  threshold-based regression verdict (exit status 1 on regression).
+  threshold-based regression verdict (exit status 1 on regression);
+* ``sweep``         -- expand a scenario-matrix spec into seeded cells,
+  shard them across worker processes, and write one aggregate artifact
+  (exit status 1 if any cell exhausted its retries).
 
 Examples::
 
@@ -35,6 +38,10 @@ Examples::
     python -m repro bench record --quick --dir /tmp/bench
     python -m repro bench compare --current /tmp/bench \\
         --baseline benchmarks/baselines
+    python -m repro sweep examples/sweeps/retx_loss_delay.json \\
+        --workers 4 --output sweep.json
+    python -m repro sweep examples/sweeps/retx_loss_delay.json \\
+        --resume sweep.json --output sweep.json
 """
 
 from __future__ import annotations
@@ -307,6 +314,48 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if all(comparison.ok for comparison in comparisons) else 1
 
 
+# -- sweep ----------------------------------------------------------------------
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import SweepError
+    from repro.sweep import (
+        SweepSpec,
+        format_aggregate,
+        load_aggregate_dict,
+        run_sweep,
+    )
+
+    try:
+        spec = SweepSpec.from_json_file(args.spec)
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    resume = None
+    if args.resume:
+        try:
+            resume = load_aggregate_dict(args.resume)
+        except SweepError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        aggregate = run_sweep(spec, workers=args.workers, resume=resume,
+                              progress=lambda m: print(m, file=sys.stderr))
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    record = aggregate.to_dict()
+    if args.output:
+        aggregate.save(args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.bench_dir:
+        from repro.bench.store import snapshot_from_sweep, write_snapshot
+
+        path = write_snapshot(snapshot_from_sweep(record), args.bench_dir)
+        print(f"wrote {path}", file=sys.stderr)
+    print(format_aggregate(record))
+    return 0 if aggregate.ok else 1
+
+
 # -- parser -----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -432,6 +481,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("--threshold", type=float, default=2.0,
                                help="regression ratio (must be > 1.0)")
     bench_compare.set_defaults(func=cmd_bench_compare)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a scenario matrix across worker processes")
+    sweep.add_argument("spec", help="sweep spec JSON file (see "
+                                    "examples/sweeps/)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes (default: spec override, "
+                            "else one per CPU; 1 = serial)")
+    sweep.add_argument("--resume", default=None, metavar="PARTIAL",
+                       help="previously written aggregate; its completed "
+                            "cells are carried over instead of re-run")
+    sweep.add_argument("--output", default=None, metavar="PATH",
+                       help="write the aggregate artifact here (a partial "
+                            "sweep's output can seed --resume)")
+    sweep.add_argument("--bench-dir", default=None, metavar="DIR",
+                       help="also flatten the aggregate into a "
+                            "BENCH_sweep_<name>.json snapshot in DIR")
+    sweep.set_defaults(func=cmd_sweep)
 
     headroom = sub.add_parser(
         "headroom", help="threshold survival vs loss burstiness (E11)")

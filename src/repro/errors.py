@@ -90,3 +90,32 @@ class BenchStoreError(ReproError, ValueError):
     by a newer schema than this reader supports, unknown bench areas,
     and comparisons with nothing in common.
     """
+
+
+class SweepError(ReproError, ValueError):
+    """A scenario sweep (:mod:`repro.sweep`) could not be run.
+
+    Base class for everything the sweep engine raises on purpose:
+    malformed specs, unknown scenarios, and incompatible resume
+    artifacts.  Worker-side scenario failures are *not* raised -- they
+    are retried and ultimately recorded in the aggregate's
+    ``failed_cells`` section.
+    """
+
+
+class SweepSpecError(SweepError):
+    """A sweep spec file is malformed or internally inconsistent.
+
+    Raised for missing/mis-typed required keys, empty grid axes, grid
+    axes that shadow base parameters, and scenarios the registry does
+    not know.
+    """
+
+
+class SweepResumeError(SweepError):
+    """A partial aggregate cannot seed a resume.
+
+    Raised when the partial artifact's spec fingerprint does not match
+    the spec being run (different grid, scenario, or sweep seed), or the
+    artifact is structurally unreadable.
+    """

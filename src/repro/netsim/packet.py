@@ -27,6 +27,23 @@ from repro.errors import SimulationError
 _packet_ids = itertools.count()
 
 
+def reset_packet_uids() -> None:
+    """Restart the process-wide packet uid sequence from zero.
+
+    Packet uids are allocated from a module-level counter, which is the
+    one piece of state an experiment inherits from whatever ran before
+    it in the same process.  The experiment entry points
+    (``run_cc_division``, ``run_ack_reduction``, ``run_retransmission``,
+    the chaos harness) call this on entry so that a run's uid sequence
+    -- and therefore its netsim trace -- is a pure function of the run's
+    own parameters, which is what makes farming runs out to worker
+    processes (:mod:`repro.sweep`) reproducible regardless of how many
+    tasks a worker has already executed.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
 class PacketKind(Enum):
     """Coarse traffic class, used for tracing and for sidecar filters.
 

@@ -52,9 +52,28 @@ class QuackBank:
     # -- updates -----------------------------------------------------------
 
     def observe(self, flow: int, identifier: int) -> None:
-        """Fold a single observation (the unbatched path)."""
-        self.observe_batch(np.array([flow], dtype=np.int64),
-                           np.array([identifier], dtype=np.uint64))
+        """Fold a single observation (the unbatched path).
+
+        A direct scalar update: the batched path costs two 1-element
+        array allocations plus ``t`` vectorized passes of setup per
+        call, which at batch size one is all overhead.  Plain Python
+        ints over the flow's row are an order of magnitude cheaper per
+        packet (``benchmarks/test_quack_bank.py``); the two paths are pinned
+        to each other by a differential test in
+        ``tests/quack/test_bank.py``.
+        """
+        if flow < 0 or flow >= self.num_flows:
+            raise ArithmeticDomainError(
+                f"flow index out of range [0, {self.num_flows})")
+        p = self.field.modulus
+        x = int(identifier) % p
+        power = x
+        row = self._sums[flow]
+        for k in range(self.threshold):
+            row[k] = (int(row[k]) + power) % p
+            power = (power * x) % p
+        self._counts[flow] = (int(self._counts[flow]) + 1) \
+            & ((1 << self.count_bits) - 1)
 
     def observe_batch(self, flows: Sequence[int] | np.ndarray,
                       identifiers: Sequence[int] | np.ndarray) -> None:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.netsim.core import Simulator
 from repro.netsim.loss import BernoulliLoss
 from repro.netsim.node import Host, Router
+from repro.netsim.packet import reset_packet_uids
 from repro.netsim.topology import HopSpec, build_path
 from repro.sidecar.agents import (
     DEFAULT_THRESHOLD,
@@ -77,7 +78,12 @@ def run_ack_reduction(total_bytes: int = 1_500_000,
                       seed: int = 1,
                       threshold: int = DEFAULT_THRESHOLD,
                       max_sim_seconds: float = 120.0) -> AckReductionResult:
-    """E8: one transfer with a chosen client-ACK cadence, +/- sidecar."""
+    """E8: one transfer with a chosen client-ACK cadence, +/- sidecar.
+
+    Pure in its arguments (all state, including packet uids, is created
+    per call) so :mod:`repro.sweep` can shard runs across processes.
+    """
+    reset_packet_uids()
     sim = Simulator()
     server = Host(sim, "server")
     proxy = Router(sim, "proxy")
@@ -145,3 +151,10 @@ def run_ack_reduction(total_bytes: int = 1_500_000,
         server_sidecar_failures=(server_sidecar.stats.decode_failures
                                  if server_sidecar else 0),
     )
+
+
+def run_ack_reduction_spec(params: dict) -> dict:
+    """Spec entry point for :mod:`repro.sweep`: params dict -> result dict."""
+    from dataclasses import asdict
+
+    return asdict(run_ack_reduction(**params))

@@ -38,7 +38,7 @@ from repro.netsim.link import Link
 from repro.netsim.loss import BernoulliLoss, GilbertElliottLoss, LossModel
 from repro.netsim.node import Host, Router
 from repro import obs
-from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.packet import Packet, PacketKind, reset_packet_uids
 from repro.sidecar.agents import (
     DEFAULT_THRESHOLD,
     HostEmitterAgent,
@@ -241,7 +241,14 @@ def run_cc_division(total_bytes: int = 1_500_000,
     With the sidecar disabled the run is a plain end-to-end transfer whose
     congestion controller conflates the lossy access hop with congestion;
     with it enabled, congestion control is divided at the proxy.
+
+    The run is a pure function of its arguments: every piece of state it
+    touches (simulator, hosts, proxies, RNGs, packet uids) is created
+    here, so identical arguments reproduce identical results in any
+    process -- the property :mod:`repro.sweep` relies on to shard runs
+    across workers.
     """
+    reset_packet_uids()
     sim = Simulator()
     server = Host(sim, "server")
     proxy = Router(sim, "proxy")
@@ -305,3 +312,15 @@ def run_cc_division(total_bytes: int = 1_500_000,
         server_sidecar_failures=(server_sidecar.stats.decode_failures
                                  if server_sidecar else 0),
     )
+
+
+def run_cc_division_spec(params: dict) -> dict:
+    """Spec entry point: keyword dict in, plain JSON-safe dict out.
+
+    This is the shape every experiment exposes to :mod:`repro.sweep` --
+    a pure function a worker process can import by name and call with
+    one task's parameters.
+    """
+    from dataclasses import asdict
+
+    return asdict(run_cc_division(**params))

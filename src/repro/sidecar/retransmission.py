@@ -29,7 +29,7 @@ from repro.netsim.loss import BernoulliLoss
 from repro.sidecar.cc_division import make_loss_model
 from repro import obs
 from repro.netsim.node import Host, Router
-from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.packet import Packet, PacketKind, reset_packet_uids
 from repro.netsim.topology import HopSpec, build_path
 from repro.sidecar.agents import DEFAULT_THRESHOLD
 from repro.sidecar.consumer import QuackConsumer
@@ -219,7 +219,11 @@ def run_retransmission(total_bytes: int = 1_500_000,
     ``reorder_threshold`` is the server's loss-detection tolerance: 3 is
     the unchanged QUIC host of the paper; larger values model a host that
     waits long enough for local repair to win (the E9 ablation).
+
+    Pure in its arguments (all state, including packet uids, is created
+    per call) so :mod:`repro.sweep` can shard runs across processes.
     """
+    reset_packet_uids()
     sim = Simulator()
     server = Host(sim, "server")
     p1 = Router(sim, "p1")
@@ -276,3 +280,10 @@ def run_retransmission(total_bytes: int = 1_500_000,
                                if sender_proxy else 0),
         client_duplicates=receiver.stats.duplicate_packets,
     )
+
+
+def run_retransmission_spec(params: dict) -> dict:
+    """Spec entry point for :mod:`repro.sweep`: params dict -> result dict."""
+    from dataclasses import asdict
+
+    return asdict(run_retransmission(**params))

@@ -1,0 +1,57 @@
+"""Parallel scenario sweeps (``repro.sweep``).
+
+The distributed-job-runner layer of the reproduction: a declarative
+spec (cartesian grids over topology, loss, CC, quACK parameters, chaos
+plans) expands into independently seeded cells, the cells shard across
+a process pool, and the outcomes aggregate into one schema-versioned
+JSON artifact.  Guarantees, pinned by ``tests/sweep/``:
+
+* **determinism** -- each cell's seed derives from
+  ``(sweep_seed, cell_index)``; aggregates are byte-identical across
+  worker counts and completion orders once timing metadata is stripped;
+* **fault tolerance** -- crashed or over-budget tasks are retried with
+  backoff and, if they keep failing, recorded in ``failed_cells``
+  rather than aborting the sweep;
+* **resumability** -- ``repro sweep --resume partial.json`` re-runs
+  only the missing/failed cells of a matching sweep.
+
+Quick start::
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec.from_dict({
+        "name": "retx", "scenario": "retransmission", "seed": 7,
+        "base": {"total_bytes": 100_000},
+        "grid": {"loss_rate": [0.01, 0.05], "lossy_delay": [0.002, 0.02]},
+    })
+    aggregate = run_sweep(spec, workers=4)
+    aggregate.save("sweep.json")
+"""
+
+from repro.sweep.artifact import (
+    CELL_FAILED,
+    CELL_OK,
+    CellOutcome,
+    SweepAggregate,
+    completed_results,
+    format_aggregate,
+    load_aggregate_dict,
+    strip_timing,
+)
+from repro.sweep.runner import default_workers, run_sweep
+from repro.sweep.scenarios import SCENARIOS, known_scenarios, run_cell
+from repro.sweep.spec import (
+    SWEEP_SCHEMA_VERSION,
+    SweepCell,
+    SweepSpec,
+    derive_seed,
+)
+
+__all__ = [
+    "SweepSpec", "SweepCell", "derive_seed", "SWEEP_SCHEMA_VERSION",
+    "SweepAggregate", "CellOutcome", "CELL_OK", "CELL_FAILED",
+    "strip_timing", "load_aggregate_dict", "completed_results",
+    "format_aggregate",
+    "run_sweep", "default_workers",
+    "SCENARIOS", "known_scenarios", "run_cell",
+]

@@ -1,0 +1,130 @@
+"""The scenario registry: every experiment as ``spec -> result dict``.
+
+Worker processes import this module by name and call
+:func:`run_cell`, so everything here must be picklable and free of
+module-global mutable state.  Each entry point is a pure function: the
+same ``(params, seed)`` produces the same result dict in any process,
+which is the contract the sweep engine's determinism guarantee rests on
+(the experiment modules reset the one process-wide counter, packet
+uids, on entry).
+
+Registered scenarios:
+
+* ``cc-division``, ``ack-reduction``, ``retransmission`` -- the E7-E9
+  protocol experiments (Table 1's three sidecar protocols, end to end);
+* ``chaos`` -- the fault-injection harness; the cell must carry a
+  ``plan`` parameter naming one of :data:`repro.chaos.PLANS` (sweep the
+  ``plan`` axis to cover all of them);
+* ``selftest`` -- a deliberately cheap arithmetic scenario with
+  injectable failures, used by the engine's own differential tests and
+  by scaling demos.  Parameters: ``work`` (payload size), ``sleep_s``
+  (simulated task latency), ``fail_attempts`` (raise until the task's
+  attempt number reaches this), ``exit_attempts`` (hard-kill the worker
+  process until then -- exercises pool breakage).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from typing import Any, Callable, Mapping
+
+from repro.errors import SweepError
+
+
+def _run_selftest(params: Mapping[str, Any], seed: int,
+                  attempt: int) -> dict:
+    """The engine's built-in scenario: cheap, seeded, failure-injectable."""
+    fail_attempts = int(params.get("fail_attempts", 0))
+    exit_attempts = int(params.get("exit_attempts", 0))
+    if attempt < exit_attempts:
+        if multiprocessing.parent_process() is None:
+            # Serial mode runs cells in the main process; killing it
+            # would take the whole sweep down.  Degrade to an ordinary
+            # (retryable) failure instead.
+            raise SweepError(
+                "selftest: exit_attempts needs worker processes; "
+                "run with --workers >= 2")
+        # A hard crash: the worker process dies without cleanup, the
+        # pool breaks, and the runner must rebuild it.
+        os._exit(13)
+    if attempt < fail_attempts:
+        raise RuntimeError(
+            f"selftest: injected failure on attempt {attempt} "
+            f"(fails until attempt {fail_attempts})")
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    rng = random.Random(seed)
+    work = int(params.get("work", 64))
+    values = [rng.getrandbits(32) for _ in range(work)]
+    return {
+        "checksum": sum(values) % (1 << 31),
+        "first": values[0] if values else None,
+        "work": work,
+        "attempt": attempt,
+        "echo": {key: params[key] for key in sorted(params)
+                 if key not in ("fail_attempts", "exit_attempts")},
+    }
+
+
+def _run_cc_division(params: Mapping[str, Any], seed: int,
+                     attempt: int) -> dict:
+    from repro.sidecar.cc_division import run_cc_division_spec
+
+    return run_cc_division_spec(_with_seed(params, seed))
+
+
+def _run_ack_reduction(params: Mapping[str, Any], seed: int,
+                       attempt: int) -> dict:
+    from repro.sidecar.ack_reduction import run_ack_reduction_spec
+
+    return run_ack_reduction_spec(_with_seed(params, seed))
+
+
+def _run_retransmission(params: Mapping[str, Any], seed: int,
+                        attempt: int) -> dict:
+    from repro.sidecar.retransmission import run_retransmission_spec
+
+    return run_retransmission_spec(_with_seed(params, seed))
+
+
+def _run_chaos(params: Mapping[str, Any], seed: int, attempt: int) -> dict:
+    from repro.chaos import run_chaos_spec
+
+    return run_chaos_spec(_with_seed(params, seed))
+
+
+def _with_seed(params: Mapping[str, Any], seed: int) -> dict:
+    """Inject the derived cell seed unless the spec pins one explicitly."""
+    merged = dict(params)
+    merged.setdefault("seed", seed)
+    return merged
+
+
+#: Scenario name -> entry point ``(params, seed, attempt) -> dict``.
+SCENARIOS: dict[str, Callable[[Mapping[str, Any], int, int], dict]] = {
+    "cc-division": _run_cc_division,
+    "ack-reduction": _run_ack_reduction,
+    "retransmission": _run_retransmission,
+    "chaos": _run_chaos,
+    "selftest": _run_selftest,
+}
+
+
+def known_scenarios() -> tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def run_cell(scenario: str, params: Mapping[str, Any], seed: int,
+             attempt: int = 0) -> dict:
+    """Run one cell's scenario; the workers' sole entry point."""
+    try:
+        entry = SCENARIOS[scenario]
+    except KeyError:
+        raise SweepError(
+            f"unknown sweep scenario {scenario!r}; have "
+            f"{', '.join(known_scenarios())}")
+    return entry(params, seed, attempt)

@@ -1,0 +1,24 @@
+"""Shared pytest plumbing: the ``slow`` marker and ``--runslow``.
+
+Tier-1 (the default ``pytest`` invocation) skips tests marked
+``@pytest.mark.slow`` -- the multi-second end-to-end protocol scenarios
+-- to keep the edit-test loop fast.  CI's full-suite job and anyone
+verifying a protocol change run ``pytest --runslow`` to include them.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked @pytest.mark.slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow; use --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

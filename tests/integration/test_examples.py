@@ -7,6 +7,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 

@@ -9,6 +9,8 @@ state separate when only one flow is assisted.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.netsim.core import Simulator
 from repro.netsim.node import Host, Router
 from repro.netsim.topology import HopSpec, build_path

@@ -11,6 +11,8 @@ import random
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.errors import TransportError
 from repro.netsim.core import Simulator
 from repro.netsim.loss import BernoulliLoss

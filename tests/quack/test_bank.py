@@ -39,6 +39,50 @@ class TestValidation:
         assert bank.count(0) == 0
 
 
+class TestScalarPathDifferential:
+    """The direct scalar ``observe`` must track ``observe_batch`` exactly."""
+
+    @given(observations=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=2 ** 32 - 1)),
+        max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_matches_batch(self, observations):
+        scalar = QuackBank(4, threshold=6)
+        batched = QuackBank(4, threshold=6)
+        for flow, identifier in observations:
+            scalar.observe(flow, identifier)
+        if observations:
+            batched.observe_batch(
+                np.array([flow for flow, _ in observations]),
+                np.array([ident for _, ident in observations],
+                         dtype=np.uint64))
+        for flow in range(4):
+            assert scalar.power_sums(flow) == batched.power_sums(flow)
+            assert scalar.count(flow) == batched.count(flow)
+
+    def test_scalar_matches_batch_at_count_wrap(self):
+        scalar = QuackBank(1, threshold=3, count_bits=4)
+        batched = QuackBank(1, threshold=3, count_bits=4)
+        rng = random.Random(99)
+        ids = [rng.getrandbits(32) for _ in range(20)]  # wraps the 4-bit count
+        for identifier in ids:
+            scalar.observe(0, identifier)
+        batched.observe_batch(np.zeros(20, dtype=np.int64),
+                              np.array(ids, dtype=np.uint64))
+        assert scalar.count(0) == batched.count(0) == 20 % 16
+        assert scalar.power_sums(0) == batched.power_sums(0)
+
+    def test_scalar_accepts_aliased_identifiers(self):
+        # Identifiers in [p, 2**bits) reduce mod p on both paths.
+        scalar = QuackBank(1, threshold=2, bits=16)
+        batched = QuackBank(1, threshold=2, bits=16)
+        top = (1 << 16) - 1
+        scalar.observe(0, top)
+        batched.observe_batch([0], [top])
+        assert scalar.power_sums(0) == batched.power_sums(0)
+
+
 class TestEquivalence:
     @given(observations=st.lists(
         st.tuples(st.integers(min_value=0, max_value=3),

@@ -1,0 +1,158 @@
+"""Seeded differential suite: three quACK implementations, one story.
+
+Pure stdlib ``random`` with pinned seeds (no hypothesis): every case is
+reproducible from its parametrized seed alone, which keeps this suite
+usable as a bisection tool.  The echo strawman is the trivially correct
+oracle; :class:`PowerSumQuack` (the paper's construction) and
+:class:`QuackBank` (the vectorized multi-flow variant, via
+``snapshot``) must agree with it -- and with each other -- across
+random drop patterns, including:
+
+* count wraparound at the ``c``-bit boundary (absolute counts exceed
+  ``2**c`` but the count *difference* stays decodable);
+* ``m == t`` -- exactly-at-threshold decode, the paper's boundary case;
+* ``m > t`` -- overflow must be *detected*, never mis-decoded.
+"""
+
+import random
+
+import pytest
+
+from repro.quack.bank import QuackBank
+from repro.quack.base import DecodeStatus
+from repro.quack.power_sum import PowerSumQuack
+from repro.quack.strawman import EchoQuack, HashQuack
+
+BITS = 32
+SEEDS = range(12)
+
+
+def _random_case(seed: int, n: int, loss_percent: int):
+    """One seeded workload: a send log and the surviving subset."""
+    rng = random.Random(seed)
+    sent = [rng.getrandbits(BITS) for _ in range(n)]
+    received = [value for value in sent
+                if rng.randrange(100) >= loss_percent]
+    return sent, received
+
+
+def _power_sum_of(received, threshold: int, count_bits: int = 16):
+    quack = PowerSumQuack(threshold=threshold, bits=BITS,
+                          count_bits=count_bits)
+    quack.insert_many(received)
+    return quack
+
+
+def _bank_snapshot_of(received, threshold: int, count_bits: int = 16):
+    bank = QuackBank(num_flows=3, threshold=threshold, bits=BITS,
+                     count_bits=count_bits)
+    # Interleave a decoy flow so cross-flow isolation is also on trial.
+    for i, identifier in enumerate(received):
+        bank.observe(1, identifier)
+        bank.observe(0, (identifier * 2654435761) & 0xFFFFFFFF)
+    return bank.snapshot(1)
+
+
+class TestRandomDropAgreement:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("loss_percent", [0, 3, 20, 60])
+    def test_all_schemes_agree(self, seed, loss_percent):
+        sent, received = _random_case(seed * 7919 + loss_percent,
+                                      n=60, loss_percent=loss_percent)
+        truth = EchoQuack(bits=BITS)
+        truth.insert_many(received)
+        oracle = truth.decode(sent)
+        assert oracle.ok
+
+        threshold = max(1, len(sent) - len(received))
+        for build in (_power_sum_of, _bank_snapshot_of):
+            quack = build(received, threshold)
+            result = quack.decode(sent)
+            assert result.ok, (seed, loss_percent, build.__name__)
+            assert result.missing == oracle.missing
+            assert result.num_missing == len(oracle.missing)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hash_strawman_agrees_on_small_instances(self, seed):
+        sent, received = _random_case(seed + 31337, n=10, loss_percent=25)
+        truth = EchoQuack(bits=BITS)
+        truth.insert_many(received)
+        hashq = HashQuack(bits=BITS)
+        hashq.insert_many(received)
+        power = _power_sum_of(received, threshold=max(1, len(sent)
+                                                     - len(received)))
+        assert hashq.decode(sent).missing == truth.decode(sent).missing \
+            == power.decode(sent).missing
+
+
+class TestCountWraparound:
+    """Absolute counts past ``2**c`` must not disturb the decode."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_wrapped_counts_still_decode(self, seed):
+        count_bits = 6  # wraps at 64
+        n = 150         # counts wrap twice
+        sent, received = _random_case(seed + 17, n=n, loss_percent=4)
+        missing_count = len(sent) - len(received)
+        threshold = max(1, missing_count)
+        assert threshold < (1 << count_bits)
+
+        truth = EchoQuack(bits=BITS)
+        truth.insert_many(received)
+        oracle = truth.decode(sent)
+
+        for build in (_power_sum_of, _bank_snapshot_of):
+            quack = build(received, threshold, count_bits=count_bits)
+            # The on-wire count is the wrapped residue...
+            assert quack.count == len(received) % (1 << count_bits)
+            # ...but the count *difference* is below 2**c, so decoding
+            # recovers the true missing set (paper, Section 3.2).
+            result = quack.decode(sent)
+            assert result.ok, (seed, build.__name__)
+            assert result.missing == oracle.missing
+
+    def test_exactly_at_the_wrap_boundary(self):
+        count_bits = 4
+        sent, _ = _random_case(5, n=16, loss_percent=0)
+        received = sent[:]  # none missing; count wraps to exactly 0
+        quack = _power_sum_of(received, threshold=3,
+                              count_bits=count_bits)
+        assert quack.count == 0
+        result = quack.decode(sent)
+        assert result.ok
+        assert result.missing == ()
+
+
+class TestThresholdBoundary:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_exactly_at_threshold_decodes(self, seed):
+        """``m == t``: the last workload the quACK is sized to handle."""
+        threshold = 8
+        rng = random.Random(seed + 4242)
+        sent = [rng.getrandbits(BITS) for _ in range(50)]
+        dropped = set(rng.sample(range(len(sent)), threshold))
+        received = [value for i, value in enumerate(sent)
+                    if i not in dropped]
+        oracle = tuple(sorted(sent[i] for i in dropped))
+        for build in (_power_sum_of, _bank_snapshot_of):
+            result = build(received, threshold).decode(sent)
+            assert result.ok, (seed, build.__name__)
+            assert result.num_missing == threshold
+            assert result.missing == oracle
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("overflow", [1, 5])
+    def test_over_threshold_is_detected(self, seed, overflow):
+        """``m > t``: both implementations must *report* the overflow."""
+        threshold = 6
+        rng = random.Random(seed * 13 + overflow)
+        sent = [rng.getrandbits(BITS) for _ in range(40)]
+        dropped = set(rng.sample(range(len(sent)), threshold + overflow))
+        received = [value for i, value in enumerate(sent)
+                    if i not in dropped]
+        for build in (_power_sum_of, _bank_snapshot_of):
+            result = build(received, threshold).decode(sent)
+            assert not result.ok, (seed, build.__name__)
+            assert result.status is DecodeStatus.THRESHOLD_EXCEEDED
+            assert result.num_missing == threshold + overflow
+            assert result.missing == ()

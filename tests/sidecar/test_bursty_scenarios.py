@@ -41,6 +41,7 @@ class TestMakeLossModel:
             make_loss_model(0.1, "chaotic", random.Random(1))
 
 
+@pytest.mark.slow
 class TestCcDivisionBursty:
     @pytest.fixture(scope="class")
     def results(self):
@@ -68,6 +69,7 @@ class TestCcDivisionBursty:
         assert divided.proxy_stats.decode_failures == 0
 
 
+@pytest.mark.slow
 class TestRetransmissionBursty:
     def test_local_repair_wins_under_bursts(self):
         e2e = run_retransmission(total_bytes=TOTAL, loss_rate=0.05,

@@ -1,0 +1,134 @@
+"""Tests for sweep spec validation, expansion, and seed derivation."""
+
+import json
+
+import pytest
+
+from repro.errors import SweepSpecError
+from repro.sweep import SWEEP_SCHEMA_VERSION, SweepSpec, derive_seed
+
+
+def minimal(**overrides):
+    record = {
+        "name": "t", "scenario": "selftest",
+        "grid": {"a": [1, 2], "b": [10, 20, 30]},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestValidation:
+    def test_minimal_spec_parses(self):
+        spec = SweepSpec.from_dict(minimal())
+        assert spec.scenario == "selftest"
+        assert spec.num_cells == 6
+        assert spec.schema == SWEEP_SCHEMA_VERSION
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown key"):
+            SweepSpec.from_dict(minimal(gird={"a": [1]}))
+
+    def test_newer_schema_refused(self):
+        with pytest.raises(SweepSpecError, match="newer"):
+            SweepSpec.from_dict(minimal(schema=SWEEP_SCHEMA_VERSION + 1))
+
+    def test_missing_scenario(self):
+        record = minimal()
+        del record["scenario"]
+        with pytest.raises(SweepSpecError, match="scenario"):
+            SweepSpec.from_dict(record)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SweepSpecError, match="empty"):
+            SweepSpec.from_dict(minimal(grid={"a": []}))
+
+    def test_axis_shadowing_base_rejected(self):
+        with pytest.raises(SweepSpecError, match="shadows"):
+            SweepSpec.from_dict(minimal(base={"a": 5}))
+
+    def test_string_axis_rejected(self):
+        with pytest.raises(SweepSpecError, match="list"):
+            SweepSpec.from_dict(minimal(grid={"a": "not-a-list"}))
+
+    @pytest.mark.parametrize("key,value", [
+        ("seed", "x"), ("retries", -1), ("task_timeout_s", 0),
+        ("retry_backoff_s", -0.1), ("workers", 0),
+    ])
+    def test_bad_scalars_rejected(self, key, value):
+        with pytest.raises(SweepSpecError):
+            SweepSpec.from_dict(minimal(**{key: value}))
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(minimal(seed=9)))
+        assert SweepSpec.from_json_file(str(path)).seed == 9
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(SweepSpecError, match="valid JSON"):
+            SweepSpec.from_json_file(str(path))
+
+
+class TestExpansion:
+    def test_row_major_over_sorted_axes(self):
+        spec = SweepSpec.from_dict({
+            "name": "t", "scenario": "selftest",
+            # Insertion order deliberately unsorted: 'b' before 'a'.
+            "grid": {"b": [10, 20], "a": [1, 2]},
+            "base": {"fixed": 7},
+        })
+        cells = spec.cells()
+        assert [cell.params for cell in cells] == [
+            {"fixed": 7, "a": 1, "b": 10},
+            {"fixed": 7, "a": 1, "b": 20},
+            {"fixed": 7, "a": 2, "b": 10},
+            {"fixed": 7, "a": 2, "b": 20},
+        ]
+        assert [cell.index for cell in cells] == [0, 1, 2, 3]
+
+    def test_gridless_spec_is_one_cell(self):
+        spec = SweepSpec.from_dict(
+            {"name": "t", "scenario": "selftest", "base": {"work": 4}})
+        cells = spec.cells()
+        assert len(cells) == 1
+        assert cells[0].params == {"work": 4}
+
+    def test_seeds_are_pure_and_distinct(self):
+        spec = SweepSpec.from_dict(minimal(seed=5))
+        seeds = [cell.seed for cell in spec.cells()]
+        assert seeds == [cell.seed for cell in spec.cells()]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds[0] == derive_seed(5, 0)
+
+    def test_seed_derivation_is_pinned(self):
+        # A change in the derivation silently invalidates every recorded
+        # sweep; pin the exact values.
+        assert derive_seed(1, 0) == 4292617860163486054
+        assert derive_seed(1, 1) == 5801195805350307723
+        assert derive_seed(42, 0) == 3067536323297712504
+
+    def test_sweep_seed_changes_all_cell_seeds(self):
+        a = [cell.seed for cell in SweepSpec.from_dict(minimal(seed=1)).cells()]
+        b = [cell.seed for cell in SweepSpec.from_dict(minimal(seed=2)).cells()]
+        assert all(x != y for x, y in zip(a, b))
+
+
+class TestFingerprint:
+    def test_scheduling_knobs_do_not_change_identity(self):
+        base = SweepSpec.from_dict(minimal(seed=3))
+        tuned = SweepSpec.from_dict(minimal(
+            seed=3, workers=8, retries=5, task_timeout_s=9,
+            retry_backoff_s=1.0))
+        assert base.fingerprint() == tuned.fingerprint()
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 4}, {"scenario": "chaos"},
+        {"grid": {"a": [1, 2], "b": [10, 20, 31]}},
+        {"base": {"c": 1}},
+    ])
+    def test_result_determining_fields_do(self, change):
+        changed = minimal(seed=3)
+        changed.update(change)
+        assert SweepSpec.from_dict(minimal(seed=3)).fingerprint() \
+            != SweepSpec.from_dict(changed).fingerprint()
