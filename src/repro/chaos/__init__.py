@@ -9,14 +9,27 @@ checks (:mod:`repro.chaos.harness`).  Quick start::
     result = run_plan("blackout", seed=1)
     assert result.ok, result.violations()
 
+Beyond faults, :mod:`repro.chaos.adversary` supplies on-path
+*adversaries* -- checksum-valid liars the plausibility defense
+(:mod:`repro.sidecar.defense`) must catch; the ``lying-count``,
+``forged-power-sum``, ``replay`` and ``equivocation`` plans run them
+under the defense invariants.
+
 Presentation belongs to the caller: :func:`format_result` renders a
 result as text, and the ``python -m repro chaos`` subcommand is the one
 place that prints it.  Library code returns data and stays silent.
 """
 
+from repro.chaos.adversary import (
+    EquivocationAdversary,
+    ForgedPowerSumAdversary,
+    LyingCountAdversary,
+    ReplayAdversary,
+)
 from repro.chaos.harness import (
     DEFAULT_TOTAL,
     PLANS,
+    ChaosPlan,
     ChaosResult,
     ChaosSetup,
     format_result,
@@ -24,10 +37,12 @@ from repro.chaos.harness import (
     run_chaos_spec,
     run_chaos_transfer,
     run_plan,
+    unassisted_baseline,
 )
 from repro.chaos.injectors import MiddleboxCrash, sidecar_corrupter
 
 __all__ = [
+    "ChaosPlan",
     "ChaosSetup",
     "ChaosResult",
     "run_chaos_transfer",
@@ -35,8 +50,13 @@ __all__ = [
     "run_chaos_spec",
     "result_to_dict",
     "format_result",
+    "unassisted_baseline",
     "PLANS",
     "DEFAULT_TOTAL",
     "MiddleboxCrash",
     "sidecar_corrupter",
+    "LyingCountAdversary",
+    "ForgedPowerSumAdversary",
+    "ReplayAdversary",
+    "EquivocationAdversary",
 ]

@@ -1,0 +1,221 @@
+"""On-path adversaries for the sidecar channel.
+
+The injectors in :mod:`repro.netsim.faults` model a *faulty* network;
+these model a *malicious* one.  The distinction matters because the
+sidecar wire formats carry CRC-32 -- an integrity check against channel
+noise, not authentication -- so an on-path adversary can rewrite a
+frame's lies and fix the checksum, producing datagrams that parse
+cleanly and must be caught by plausibility, not by parsing
+(:mod:`repro.sidecar.defense`).  Every adversary here therefore emits
+*checksum-valid* forgeries; none of its tampering may ever be counted
+as wire corruption.
+
+Four adversaries, one per attack family of the threat model:
+
+* :class:`LyingCountAdversary` -- inflates the snapshot's cumulative
+  count: "I received more than I did", the window-inflation attack.
+* :class:`ForgedPowerSumAdversary` -- keeps the count honest but
+  perturbs the power sums: forged loss evidence aimed at spurious
+  retransmission/cwnd damage.
+* :class:`ReplayAdversary` -- captures one early snapshot and re-sends
+  it forever (every ``stride``-th datagram, so the stream still shows
+  forward progress and naive staleness checks stay quiet).
+* :class:`EquivocationAdversary` -- maintains its *own* accumulator
+  over transformed packet identifiers and answers with snapshots of
+  that: internally consistent evidence about a session that is not this
+  one.
+
+All of them subclass :class:`~repro.netsim.faults.FaultInjector` and
+carry ``adversarial = True``, which the chaos harness uses to keep
+tampering out of the corruption ledger (a forgery is *designed* not to
+be classifiable as corruption) and to assert the defense invariants:
+the transfer still completes at no less than unassisted-baseline
+goodput, and the lying sidecar lands in QUARANTINED.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Sequence
+
+from repro.errors import WireFormatError
+from repro.netsim.faults import FaultDecision, FaultInjector, Window, in_window
+from repro.netsim.packet import Packet, PacketKind
+from repro.quack import wire
+from repro.quack.power_sum import PowerSumQuack
+from repro.sidecar.protocol import QuackMessage
+
+#: Default activity window: let the session establish, then lie forever.
+DEFAULT_WINDOWS: tuple[Window, ...] = ((0.25, 3600.0),)
+
+
+def _reframe(quack: PowerSumQuack) -> bytes:
+    """Serialize a (tampered) accumulator as a checksum-valid frame."""
+    return wire.encode(quack, include_count=True, include_checksum=True)
+
+
+def _forge(packet: Packet, message: QuackMessage, frame: bytes) -> Packet:
+    """Rebuild the datagram around a forged frame (size included)."""
+    overhead = packet.size_bytes - len(message.frame)
+    forged = dataclasses.replace(message, frame=frame)
+    return dataclasses.replace(packet, payload=forged,
+                               size_bytes=overhead + len(frame))
+
+
+class _QuackAdversary(FaultInjector):
+    """Base: window gating, frame parsing, and the ``adversarial`` mark."""
+
+    #: The chaos harness separates tampering from corruption on this.
+    adversarial = True
+
+    def __init__(self, windows: Sequence[Window] = DEFAULT_WINDOWS,
+                 name: str | None = None) -> None:
+        super().__init__(kinds={PacketKind.QUACK}, name=name)
+        self.windows = tuple(windows)
+
+    def _decide(self, packet: Packet, now: float) -> FaultDecision:
+        if not in_window(self.windows, now):
+            return FaultDecision.none()
+        message = packet.payload
+        if not isinstance(message, QuackMessage):
+            return FaultDecision.none()
+        try:
+            quack = message.quack()
+        except (WireFormatError, TypeError):
+            return FaultDecision.none()  # already mangled by someone else
+        return self._tamper(packet, message, quack, now)
+
+    def _tamper(self, packet: Packet, message: QuackMessage,
+                quack: PowerSumQuack, now: float) -> FaultDecision:
+        raise NotImplementedError
+
+
+class LyingCountAdversary(_QuackAdversary):
+    """Inflate the cumulative count: claim packets that never arrived.
+
+    Depending on how the inflation lands against the sender's in-flight
+    window, the consumer sees either a count ahead of everything it ever
+    sent (COUNT_AHEAD) or a checksum-valid snapshot whose sums cannot
+    decode against the claimed count (FORGED_EVIDENCE).  Both are
+    quarantine signals; neither may move the window.
+    """
+
+    def __init__(self, inflation: int = 25,
+                 windows: Sequence[Window] = DEFAULT_WINDOWS) -> None:
+        super().__init__(windows, name="LyingCountAdversary")
+        if inflation < 1:
+            raise ValueError(f"inflation must be >= 1, got {inflation}")
+        self.inflation = inflation
+
+    def _tamper(self, packet: Packet, message: QuackMessage,
+                quack: PowerSumQuack, now: float) -> FaultDecision:
+        # The same private-field surgery the wire decoder itself uses:
+        # sums stay honest, the count lies.
+        quack._count = (quack.count + self.inflation) \
+            % (1 << quack.count_bits)
+        return FaultDecision(
+            replacement=_forge(packet, message, _reframe(quack)))
+
+
+class ForgedPowerSumAdversary(_QuackAdversary):
+    """Keep the count honest, forge the power sums: fake loss evidence.
+
+    The count gates all pass -- monotone, never ahead of the sent log --
+    so the forgery reaches the decoder, where the sums fail to split
+    over the sender's log: FORGED_EVIDENCE.
+    """
+
+    def __init__(self, seed: int = 0,
+                 windows: Sequence[Window] = DEFAULT_WINDOWS) -> None:
+        super().__init__(windows, name="ForgedPowerSumAdversary")
+        self._rng = random.Random(seed)
+
+    def _tamper(self, packet: Packet, message: QuackMessage,
+                quack: PowerSumQuack, now: float) -> FaultDecision:
+        modulus = quack.field.modulus
+        quack._sums = [(value + self._rng.randrange(1, modulus)) % modulus
+                       for value in quack.power_sums]
+        return FaultDecision(
+            replacement=_forge(packet, message, _reframe(quack)))
+
+
+class ReplayAdversary(_QuackAdversary):
+    """Capture one early snapshot, replay it in place of later ones.
+
+    Only every ``stride``-th datagram is replaced: the interleaved
+    honest snapshots keep the consumer's high-water count advancing, so
+    the replays regress further and further behind it -- past the
+    benign-reordering band and into COUNT_REGRESSION territory -- while
+    a naive freshness check would see a perfectly live channel.
+    """
+
+    def __init__(self, stride: int = 2,
+                 windows: Sequence[Window] = DEFAULT_WINDOWS) -> None:
+        super().__init__(windows, name="ReplayAdversary")
+        if stride < 2:
+            raise ValueError(f"stride must be >= 2, got {stride}")
+        self.stride = stride
+        self._captured: bytes | None = None
+        self._captured_epoch: int | None = None
+        self._seen = 0
+
+    def _tamper(self, packet: Packet, message: QuackMessage,
+                quack: PowerSumQuack, now: float) -> FaultDecision:
+        if self._captured is None or self._captured_epoch != message.epoch:
+            self._captured = message.frame
+            self._captured_epoch = message.epoch
+            self._seen = 0
+            return FaultDecision.none()
+        self._seen += 1
+        if self._seen % self.stride:
+            return FaultDecision.none()  # pass the honest snapshot
+        return FaultDecision(
+            replacement=_forge(packet, message, self._captured))
+
+
+class EquivocationAdversary(FaultInjector):
+    """Answer with snapshots of a *different* session's accumulator.
+
+    The adversary watches the DATA stream toward the client and folds a
+    transformed copy of every identifier (``id XOR mask``) into its own
+    power-sum accumulator, then substitutes snapshots of that state for
+    the emitter's.  The result is the strongest lie the wire format
+    allows: right cadence, right epoch, plausible count, internally
+    consistent sums -- but evidence about packets that were never sent.
+    The decode stage is the only gate that can catch it (the roots match
+    nothing in the sender's log: FORGED_EVIDENCE).
+
+    Install the same instance in *both* directions of the sidecar hop:
+    it observes DATA toward the client and tampers QUACK toward the
+    server.
+    """
+
+    adversarial = True
+
+    def __init__(self, threshold: int, bits: int = 32, count_bits: int = 16,
+                 mask: int = 0x5A5A5A5A,
+                 windows: Sequence[Window] = DEFAULT_WINDOWS) -> None:
+        super().__init__(kinds={PacketKind.DATA, PacketKind.QUACK},
+                         name="EquivocationAdversary")
+        self.windows = tuple(windows)
+        self.mask = mask
+        self._shadow = PowerSumQuack(threshold, bits, count_bits)
+        self._id_limit = 1 << bits
+
+    def _decide(self, packet: Packet, now: float) -> FaultDecision:
+        if packet.kind is PacketKind.DATA:
+            if packet.identifier is not None:
+                self._shadow.insert(
+                    (packet.identifier ^ self.mask) % self._id_limit)
+            return FaultDecision.none()
+        if not in_window(self.windows, now):
+            return FaultDecision.none()
+        message = packet.payload
+        if not isinstance(message, QuackMessage):
+            return FaultDecision.none()
+        frame = _reframe(self._shadow.copy())
+        overhead = packet.size_bytes - len(message.frame)
+        forged = dataclasses.replace(message, frame=frame)
+        return FaultDecision(replacement=dataclasses.replace(
+            packet, payload=forged, size_bytes=overhead + len(frame)))

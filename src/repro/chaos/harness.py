@@ -14,16 +14,31 @@ paper's core promise as machine-verifiable invariants
 * every corrupted datagram that arrived was classified as wire
   corruption (checksum), never silently mis-decoded.
 
-Named plans (:data:`PLANS`, one per built-in injector) make scenarios
-replayable from tests, the CLI (``python -m repro chaos <plan>``), and
-``examples/failure_modes.py``.
+Adversarial plans (built on :mod:`repro.chaos.adversary`) add the
+defense invariants: the transfer still completes at no less than the
+*unassisted baseline* goodput (measured by running the same transfer
+with no sidecar at all), the lying sidecar lands in QUARANTINED, and no
+quACK-decoded loss touches the sender after the quarantine verdict.
+The ``crash-resume`` plan exercises checkpoint/restore instead: crashes
+heal through the resume handshake with zero resets.
+
+Named plans (:data:`PLANS`, each a :class:`ChaosPlan` with a one-line
+description) make scenarios replayable from tests, the CLI
+(``python -m repro chaos <plan>``), and ``examples/failure_modes.py``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.chaos.adversary import (
+    EquivocationAdversary,
+    ForgedPowerSumAdversary,
+    LyingCountAdversary,
+    ReplayAdversary,
+)
 from repro.chaos.injectors import MiddleboxCrash, sidecar_corrupter
 from repro.netsim.core import Simulator
 from repro.netsim.faults import (
@@ -39,8 +54,10 @@ from repro.netsim.node import Host, Router
 from repro.netsim.packet import reset_packet_uids
 from repro.netsim.topology import HopSpec, PathTopology, build_path
 from repro.sidecar.agents import ProxyEmitterTap, ServerSidecar
+from repro.sidecar.defense import DefenseConfig
 from repro.sidecar.frequency import PacketCountFrequency
 from repro.sidecar.health import HealthConfig, HealthState, HealthTransition
+from repro.sidecar.snapshot import CheckpointStore
 from repro.transport.connection import ReceiverConnection, SenderConnection
 
 #: Default transfer: ~876 KB, about 1.5 s at the default 5 Mbps.
@@ -56,12 +73,23 @@ class ChaosSetup:
     rides client->proxy->server (the direction quACKs travel).  The same
     injector instance may serve both.  ``crashes`` wipe the proxy
     emitter at fixed times.
+
+    ``adversarial`` marks setups whose injectors *lie* rather than
+    break; the harness then arms the plausibility defense (``defense``
+    overrides the default :class:`~repro.sidecar.defense.DefenseConfig`),
+    measures the unassisted baseline, and checks the defense invariants.
+    ``checkpoint_interval_s`` arms emitter checkpoint/restore with a
+    :class:`~repro.sidecar.snapshot.CheckpointStore` so crashes heal
+    through the resume handshake instead of the reset protocol.
     """
 
     name: str = "custom"
     faults_toward_client: FaultInjector | None = None
     faults_toward_server: FaultInjector | None = None
     crashes: MiddleboxCrash | None = None
+    adversarial: bool = False
+    defense: DefenseConfig | None = None
+    checkpoint_interval_s: float | None = None
 
     def injectors(self) -> list[FaultInjector]:
         unique: list[FaultInjector] = []
@@ -94,6 +122,25 @@ class ChaosResult:
     faults_duplicated: int
     wire_errors_seen: int
     control_corruptions_seen: int
+    adversarial: bool = False
+    faults_tampered: int = 0
+    signals_by_kind: dict = field(default_factory=dict)
+    quarantined_at: float | None = None
+    last_loss_applied_at: float | None = None
+    baseline_duration_s: float | None = None
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered application throughput of this run."""
+        return 8 * self.bytes_received / self.duration_s \
+            if self.duration_s > 0 else 0.0
+
+    @property
+    def baseline_goodput_bps(self) -> float | None:
+        """Throughput of the same transfer with no sidecar at all."""
+        if self.baseline_duration_s is None or self.baseline_duration_s <= 0:
+            return None
+        return 8 * self.total_bytes / self.baseline_duration_s
 
     def violations(self) -> list[str]:
         """Invariant failures; an empty list means the run held up."""
@@ -115,11 +162,76 @@ class ChaosResult:
             problems.append(
                 f"{self.faults_corrupted} corrupted datagrams delivered but "
                 f"none classified as wire corruption")
+        if self.adversarial:
+            # The paper's promise, under attack: assistance may only add.
+            if self.server_counters.get("quarantines", 0) < 1:
+                problems.append(
+                    f"adversary tampered {self.faults_tampered} datagrams "
+                    f"but was never quarantined")
+            if (self.quarantined_at is not None
+                    and self.last_loss_applied_at is not None
+                    and self.last_loss_applied_at > self.quarantined_at):
+                problems.append(
+                    f"quACK-decoded loss applied at "
+                    f"{self.last_loss_applied_at:.3f} s, after the "
+                    f"quarantine verdict at {self.quarantined_at:.3f} s")
+        if (self.completed and self.baseline_duration_s is not None
+                and self.duration_s > self.baseline_duration_s + 1e-9):
+            problems.append(
+                f"goodput below the unassisted baseline: completed in "
+                f"{self.duration_s:.3f} s vs {self.baseline_duration_s:.3f} s "
+                f"unassisted")
         return problems
 
     @property
     def ok(self) -> bool:
         return not self.violations()
+
+
+def _run_transfer_loop(sim: Simulator, sender: SenderConnection,
+                       receiver: ReceiverConnection,
+                       deadline_s: float) -> bool:
+    while sim.now < deadline_s:
+        sim.run(until=min(sim.now + 0.25, deadline_s))
+        if sender.complete and receiver.complete:
+            break
+        if sim.peek_next_time() is None:
+            break
+    return sender.complete and receiver.complete
+
+
+#: Memoized unassisted-baseline durations, keyed by the transfer shape.
+_BASELINE_CACHE: dict[tuple, float] = {}
+
+
+def unassisted_baseline(total_bytes: int, bandwidth_bps: float,
+                        delay_s: float, deadline_s: float = 60.0) -> float:
+    """Duration of the same transfer with no sidecar (and no faults).
+
+    The adversarial plans attack only the sidecar channel, which an
+    unassisted connection does not have, so this is the floor the
+    defense must hold: assistance under attack may never complete later
+    than never having had assistance at all.  Deterministic, so the
+    result is memoized per transfer shape.
+    """
+    key = (total_bytes, bandwidth_bps, delay_s, deadline_s)
+    cached = _BASELINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    reset_packet_uids()
+    sim = Simulator()
+    server = Host(sim, "server")
+    proxy = Router(sim, "proxy")
+    client = Host(sim, "client")
+    build_path(sim, [server, proxy, client],
+               [HopSpec(bandwidth_bps=bandwidth_bps, delay_s=delay_s),
+                HopSpec(bandwidth_bps=bandwidth_bps, delay_s=delay_s)])
+    receiver = ReceiverConnection(sim, client, "server", total_bytes)
+    sender = SenderConnection(sim, server, "client", total_bytes)
+    sender.start()
+    _run_transfer_loop(sim, sender, receiver, deadline_s)
+    _BASELINE_CACHE[key] = sim.now
+    return sim.now
 
 
 def run_chaos_transfer(setup: ChaosSetup, *,
@@ -142,10 +254,24 @@ def run_chaos_transfer(setup: ChaosSetup, *,
     ``HealthConfig()`` alternatives if different thresholds are wanted.
     After completion the simulation drains for ``drain_s`` so in-flight
     handshakes (reset retries) can converge the epochs.
+
+    Setups with a defense armed (``adversarial`` or an explicit
+    ``defense``/``checkpoint_interval_s``) additionally measure the
+    unassisted baseline so the result can answer the robustness
+    question: did assistance-under-attack ever cost goodput?
     """
     if health is None:
         health = HealthConfig(degrade_after=2, e2e_only_after=6,
                               stale_after=0.25, probation=0.25)
+    defense = setup.defense
+    if defense is None and setup.adversarial:
+        defense = DefenseConfig()
+    baseline_duration = None
+    if defense is not None:
+        # Measured first (and memoized) so the packet-uid reset below
+        # keeps the main run byte-identical with or without a baseline.
+        baseline_duration = unassisted_baseline(
+            total_bytes, bandwidth_bps, delay_s, deadline_s)
     reset_packet_uids()
     sim = Simulator()
     server = Host(sim, "server")
@@ -160,25 +286,25 @@ def run_chaos_transfer(setup: ChaosSetup, *,
     receiver = ReceiverConnection(sim, client, "server", total_bytes)
     sender = SenderConnection(sim, server, "client", total_bytes,
                               cc_from_acks=not divide_cc)
+    checkpoints = CheckpointStore() \
+        if setup.checkpoint_interval_s is not None else None
     tap = ProxyEmitterTap(sim, proxy, server="server", client="client",
                           flow_id="flow0",
                           policy=PacketCountFrequency(quack_every),
-                          threshold=threshold)
+                          threshold=threshold,
+                          checkpoints=checkpoints,
+                          checkpoint_interval_s=setup.checkpoint_interval_s
+                          if setup.checkpoint_interval_s is not None else 0.05)
     sidecar = ServerSidecar(sim, sender, threshold=threshold, grace=2,
                             apply_losses=True, congestive_loss=False,
                             reset_after_failures=reset_after_failures,
-                            settle_time=settle_time, health=health)
+                            settle_time=settle_time, health=health,
+                            defense=defense)
     if setup.crashes is not None:
         setup.crashes.arm(sim, tap)
     sender.start()
 
-    while sim.now < deadline_s:
-        sim.run(until=min(sim.now + 0.25, deadline_s))
-        if sender.complete and receiver.complete:
-            break
-        if sim.peek_next_time() is None:
-            break
-    completed = sender.complete and receiver.complete
+    completed = _run_transfer_loop(sim, sender, receiver, deadline_s)
     duration = sim.now
     # Health is judged at completion time: once the transfer is done,
     # quACKs legitimately stop, so anything later would read as "stale".
@@ -190,11 +316,20 @@ def run_chaos_transfer(setup: ChaosSetup, *,
     # re-announcing the epoch until the emitter demonstrably adopted it).
     sim.run(until=sim.now + drain_s)
 
-    injector_stats = {
-        injector.name: injector.stats for injector in setup.injectors()}
-    dropped = sum(s.dropped for s in injector_stats.values())
-    corrupted = sum(s.corrupted for s in injector_stats.values())
-    duplicated = sum(s.duplicated for s in injector_stats.values())
+    injectors = setup.injectors()
+    injector_stats = {injector.name: injector.stats for injector in injectors}
+    dropped = sum(i.stats.dropped for i in injectors)
+    duplicated = sum(i.stats.duplicated for i in injectors)
+    # An adversary's replacements are checksum-valid forgeries, not
+    # corruption: they must never satisfy (nor trip) the wire-error
+    # classification invariant, so they are tallied separately.
+    corrupted = sum(i.stats.corrupted for i in injectors
+                    if not getattr(i, "adversarial", False))
+    tampered = sum(i.stats.corrupted for i in injectors
+                   if getattr(i, "adversarial", False))
+    quarantined_at = next(
+        (hop.time for hop in transitions
+         if hop.new is HealthState.QUARANTINED), None)
     return ChaosResult(
         plan=setup.name,
         seed=seed,
@@ -215,14 +350,43 @@ def run_chaos_transfer(setup: ChaosSetup, *,
         faults_duplicated=duplicated,
         wire_errors_seen=sidecar.stats.wire_errors,
         control_corruptions_seen=tap.corrupt_frames,
+        adversarial=setup.adversarial,
+        faults_tampered=tampered,
+        signals_by_kind=sidecar.ledger.by_kind()
+        if sidecar.ledger is not None else {},
+        quarantined_at=quarantined_at,
+        last_loss_applied_at=sidecar.last_loss_applied_at,
+        baseline_duration_s=baseline_duration,
     )
 
 
 # -- named plans ----------------------------------------------------------------
 
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One replayable scenario: a setup factory plus its description.
+
+    The factory takes the run seed and returns a fresh (stateful,
+    seeded) setup; ``description`` is the one-liner the CLI's
+    ``--list-plans`` prints; ``adversarial`` mirrors the setup's flag so
+    callers can select the adversarial suite without building setups.
+    """
+
+    factory: Callable[[int], ChaosSetup]
+    description: str
+    adversarial: bool = False
+
+
 def _crash_restart(seed: int) -> ChaosSetup:
     return ChaosSetup(name="crash-restart",
                       crashes=MiddleboxCrash(times=(0.4, 0.9)))
+
+
+def _crash_resume(seed: int) -> ChaosSetup:
+    return ChaosSetup(name="crash-resume",
+                      crashes=MiddleboxCrash(times=(0.4, 0.9)),
+                      checkpoint_interval_s=0.02,
+                      defense=DefenseConfig())
 
 
 def _blackout(seed: int) -> ChaosSetup:
@@ -262,26 +426,84 @@ def _delay_spike(seed: int) -> ChaosSetup:
                       faults_toward_server=spike)
 
 
-#: Built-in scenarios, one per injector family.  Each factory takes the
-#: run seed and returns a fresh (stateful, seeded) setup.
-PLANS: Mapping[str, Callable[[int], ChaosSetup]] = {
-    "crash-restart": _crash_restart,
-    "blackout": _blackout,
-    "corruption": _corruption,
-    "duplication": _duplication,
-    "burst-loss": _burst_loss,
-    "delay-spike": _delay_spike,
+def _lying_count(seed: int) -> ChaosSetup:
+    liar = LyingCountAdversary(inflation=25)
+    return ChaosSetup(name="lying-count", faults_toward_server=liar,
+                      adversarial=True)
+
+
+def _forged_power_sum(seed: int) -> ChaosSetup:
+    forger = ForgedPowerSumAdversary(seed=seed)
+    return ChaosSetup(name="forged-power-sum", faults_toward_server=forger,
+                      adversarial=True)
+
+
+def _replay(seed: int) -> ChaosSetup:
+    replayer = ReplayAdversary(stride=2)
+    return ChaosSetup(name="replay", faults_toward_server=replayer,
+                      adversarial=True)
+
+
+def _equivocation(seed: int) -> ChaosSetup:
+    # Threshold must match the harness's emitter so the forgery is
+    # structurally perfect; both directions carry the same instance (it
+    # observes DATA toward the client, tampers quACKs toward the server).
+    liar = EquivocationAdversary(threshold=16)
+    return ChaosSetup(name="equivocation", faults_toward_client=liar,
+                      faults_toward_server=liar, adversarial=True)
+
+
+#: Built-in scenarios: one per injector family, one per adversary, plus
+#: the checkpoint/restore exercise.
+PLANS: Mapping[str, ChaosPlan] = {
+    "crash-restart": ChaosPlan(
+        _crash_restart,
+        "middlebox crashes wipe the emitter; healed by implicit resets"),
+    "crash-resume": ChaosPlan(
+        _crash_resume,
+        "middlebox crashes restore from checkpoints and resume, no resets"),
+    "blackout": ChaosPlan(
+        _blackout,
+        "sidecar channel goes dark for 0.6 s; ladder falls to e2e-only"),
+    "corruption": ChaosPlan(
+        _corruption,
+        "25% of sidecar datagrams bit-flipped; classified as wire errors"),
+    "duplication": ChaosPlan(
+        _duplication,
+        "25% of sidecar datagrams duplicated; harmless by idempotence"),
+    "burst-loss": ChaosPlan(
+        _burst_loss,
+        "two total-loss bursts on the sidecar channel"),
+    "delay-spike": ChaosPlan(
+        _delay_spike,
+        "80 ms delay spikes reorder sidecar datagrams"),
+    "lying-count": ChaosPlan(
+        _lying_count,
+        "adversary inflates quACK counts; caught by plausibility gates",
+        adversarial=True),
+    "forged-power-sum": ChaosPlan(
+        _forged_power_sum,
+        "adversary forges power sums under honest counts; quarantined",
+        adversarial=True),
+    "replay": ChaosPlan(
+        _replay,
+        "adversary replays a captured snapshot between honest ones",
+        adversarial=True),
+    "equivocation": ChaosPlan(
+        _equivocation,
+        "adversary answers with another session's accumulator",
+        adversarial=True),
 }
 
 
 def run_plan(name: str, seed: int = 1, **kwargs) -> ChaosResult:
     """Build and run one of the built-in plans by name."""
     try:
-        factory = PLANS[name]
+        plan = PLANS[name]
     except KeyError:
         raise ValueError(
             f"unknown chaos plan {name!r}; have {', '.join(sorted(PLANS))}")
-    return run_chaos_transfer(factory(seed), seed=seed, **kwargs)
+    return run_chaos_transfer(plan.factory(seed), seed=seed, **kwargs)
 
 
 def result_to_dict(result: ChaosResult) -> dict:
@@ -307,13 +529,22 @@ def result_to_dict(result: ChaosResult) -> dict:
             for hop in result.health_transitions],
         "server_counters": dict(result.server_counters),
         "emitter_counters": dict(result.emitter_counters),
-        "injector_stats": dict(result.injector_stats),
+        "injector_stats": {name: dataclasses.asdict(stats)
+                           for name, stats in result.injector_stats.items()},
         "crashes": result.crashes,
         "faults_dropped": result.faults_dropped,
         "faults_corrupted": result.faults_corrupted,
         "faults_duplicated": result.faults_duplicated,
         "wire_errors_seen": result.wire_errors_seen,
         "control_corruptions_seen": result.control_corruptions_seen,
+        "adversarial": result.adversarial,
+        "faults_tampered": result.faults_tampered,
+        "signals_by_kind": dict(result.signals_by_kind),
+        "quarantined_at": result.quarantined_at,
+        "last_loss_applied_at": result.last_loss_applied_at,
+        "goodput_bps": result.goodput_bps,
+        "baseline_duration_s": result.baseline_duration_s,
+        "baseline_goodput_bps": result.baseline_goodput_bps,
         "invariant_violations": result.violations(),
         "ok": result.ok,
     }
@@ -342,12 +573,25 @@ def format_result(result: ChaosResult) -> str:
         f"faults: dropped {result.faults_dropped}, "
         f"corrupted {result.faults_corrupted}, "
         f"duplicated {result.faults_duplicated}, "
+        f"tampered {result.faults_tampered}, "
         f"crashes {result.crashes}",
         f"server counters: "
         + ", ".join(f"{k}={v}" for k, v in result.server_counters.items()),
         f"emitter counters: "
         + ", ".join(f"{k}={v}" for k, v in result.emitter_counters.items()),
     ]
+    if result.baseline_duration_s is not None:
+        lines.append(
+            f"goodput: {result.goodput_bps / 1e6:.2f} Mbps vs "
+            f"{(result.baseline_goodput_bps or 0) / 1e6:.2f} Mbps unassisted "
+            f"baseline")
+    if result.adversarial:
+        kinds = ", ".join(f"{kind}={count}" for kind, count
+                          in sorted(result.signals_by_kind.items())) or "none"
+        quarantined = f"{result.quarantined_at:.3f} s" \
+            if result.quarantined_at is not None else "never"
+        lines.append(f"adversarial signals: {kinds}")
+        lines.append(f"quarantined at: {quarantined}")
     if result.health_transitions:
         lines.append("health transitions:")
         for hop in result.health_transitions:

@@ -205,14 +205,31 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 # -- chaos ----------------------------------------------------------------------
 
-_CHAOS_PLANS = ("crash-restart", "blackout", "corruption", "duplication",
-                "burst-loss", "delay-spike")
-
-
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.chaos import format_result, run_plan
+    from repro.chaos import PLANS, format_result, run_plan
 
-    plans = _CHAOS_PLANS if args.which == "all" else (args.which,)
+    if args.list_plans:
+        width = max(len(name) for name in PLANS)
+        for name in sorted(PLANS):
+            marker = "*" if PLANS[name].adversarial else " "
+            print(f"{name:<{width}} {marker} {PLANS[name].description}")
+        print("(* = adversarial plan, runs with the plausibility defense)")
+        return 0
+    if args.which is None:
+        print("error: name a chaos plan, 'all', or 'adversarial' "
+              "(--list-plans shows them)", file=sys.stderr)
+        sys.exit(2)
+    if args.which == "all":
+        plans = tuple(sorted(PLANS))
+    elif args.which == "adversarial":
+        plans = tuple(sorted(name for name, plan in PLANS.items()
+                             if plan.adversarial))
+    elif args.which in PLANS:
+        plans = (args.which,)
+    else:
+        print(f"error: unknown chaos plan {args.which!r} "
+              f"(--list-plans shows them)", file=sys.stderr)
+        sys.exit(2)
     failures = 0
     for name in plans:
         result = run_plan(name, seed=args.seed, total_bytes=args.total)
@@ -415,7 +432,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser(
         "chaos", help="run a fault-injection scenario (robustness)")
-    chaos.add_argument("which", choices=_CHAOS_PLANS + ("all",))
+    chaos.add_argument("which", nargs="?",
+                       help="a plan name, 'all', or 'adversarial' "
+                            "(see --list-plans)")
+    chaos.add_argument("--list-plans", action="store_true",
+                       help="list the chaos plans with descriptions")
     chaos.add_argument("--seed", type=int, default=1)
     chaos.add_argument("--total", type=int, default=1460 * 600,
                        help="transfer size in bytes")

@@ -243,6 +243,60 @@ class DecodeHealth:
 
 
 @dataclass
+class DefenseReport:
+    """What the plausibility defense saw: violations, quarantine, resume.
+
+    Populated from the ``sidecar.violation`` / ``sidecar.quarantine`` /
+    ``sidecar.count_regression`` / ``sidecar.resume`` /
+    ``sidecar.checkpoint`` / ``sidecar.gap_reconciled`` events; all
+    zeros when the trace predates the defense (or it was unarmed).
+    """
+
+    violations: dict[str, int] = field(default_factory=dict)
+    quarantines: list[tuple[float, str]] = field(
+        default_factory=list)  # (time, kind)
+    count_regressions: int = 0
+    resumes: dict[str, int] = field(default_factory=dict)  # phase -> count
+    resume_events: list[tuple[float, str, str]] = field(
+        default_factory=list)  # (time, role, phase)
+    checkpoints: int = 0
+    checkpoint_bytes_last: int | None = None
+    gap_reconciled: int = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.violations or self.quarantines or self.resumes
+                    or self.checkpoints or self.count_regressions
+                    or self.gap_reconciled)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(self.violations.values())
+
+    @property
+    def quarantined_at(self) -> float | None:
+        return self.quarantines[0][0] if self.quarantines else None
+
+    def resume_latencies(self) -> list[float]:
+        """Announce-to-verdict time of each resume handshake.
+
+        Pairs every emitter ``sent`` with the next consumer
+        ``accepted``/``rejected`` after it -- the restart-to-reassistance
+        delay the checkpoint/restore path is supposed to keep under one
+        round trip.
+        """
+        latencies: list[float] = []
+        pending: float | None = None
+        for time, role, phase in self.resume_events:
+            if role == "emitter" and phase == "sent":
+                pending = time
+            elif role == "consumer" and pending is not None:
+                latencies.append(max(time - pending, 0.0))
+                pending = None
+        return latencies
+
+
+@dataclass
 class HealthDwell:
     """Time spent on each rung of the sidecar degradation ladder."""
 
@@ -270,6 +324,7 @@ class TraceAnalysis:
     attribution: LossAttribution
     decode: DecodeHealth
     health: HealthDwell
+    defense: DefenseReport
     #: True when the trace demonstrably lost its beginning (lowest
     #: transmitted pn > 0 for some flow, or an explicit dropped count).
     truncated: bool
@@ -312,6 +367,7 @@ def analyze(trace: "ParsedTrace | Iterable[TraceEvent | dict]",
     connections: dict[str, ConnectionTimeline] = {}
     attribution = LossAttribution()
     decode = DecodeHealth()
+    defense = DefenseReport()
     transitions: list[tuple[float, str, str, str]] = []
     last_decode_ok: bool | None = None
 
@@ -408,6 +464,28 @@ def analyze(trace: "ParsedTrace | Iterable[TraceEvent | dict]",
             transitions.append((time, str(record.get("old", "?")),
                                 str(record.get("new", "?")),
                                 str(record.get("reason", ""))))
+        elif etype == "sidecar.violation":
+            kind = str(record.get("kind", "?"))
+            defense.violations[kind] = defense.violations.get(kind, 0) + 1
+        elif etype == "sidecar.quarantine":
+            defense.quarantines.append((time, str(record.get("kind", "?"))))
+        elif etype == "sidecar.count_regression":
+            defense.count_regressions += 1
+        elif etype == "sidecar.resume":
+            role = str(record.get("role", "?"))
+            phase = str(record.get("phase", "?"))
+            defense.resumes[phase] = defense.resumes.get(phase, 0) + 1
+            defense.resume_events.append((time, role, phase))
+        elif etype == "sidecar.checkpoint":
+            defense.checkpoints += 1
+            size = record.get("bytes")
+            if isinstance(size, (int, float)) and not isinstance(size, bool):
+                defense.checkpoint_bytes_last = int(size)
+        elif etype == "sidecar.gap_reconciled":
+            packets = record.get("packets")
+            if isinstance(packets, (int, float)) \
+                    and not isinstance(packets, bool):
+                defense.gap_reconciled += int(packets)
 
     start = records[0]["t"] if records else None
     end = records[-1]["t"] if records else None
@@ -426,6 +504,7 @@ def analyze(trace: "ParsedTrace | Iterable[TraceEvent | dict]",
         attribution=attribution,
         decode=decode,
         health=health,
+        defense=defense,
         truncated=truncated,
         dropped_events=dropped_events,
     )
@@ -588,6 +667,35 @@ def render_text(analysis: TraceAnalysis, width: int = 72,
                      f"final state {health.final_state}")
     else:
         lines.append("  (no health transitions; ladder stayed put)")
+
+    defense = analysis.defense
+    if defense.active:
+        lines.append("")
+        lines.append("sidecar defense:")
+        if defense.violations:
+            parts = ", ".join(f"{kind}={count}" for kind, count
+                              in sorted(defense.violations.items()))
+            lines.append(f"  {defense.total_violations} plausibility "
+                         f"violations ({parts})")
+        if defense.count_regressions:
+            lines.append(f"  {defense.count_regressions} count regressions")
+        for time, kind in defense.quarantines:
+            lines.append(f"  QUARANTINED at {time:.3f} s (trigger: {kind})")
+        if defense.resumes:
+            parts = ", ".join(f"{phase}={count}" for phase, count
+                              in sorted(defense.resumes.items()))
+            latencies = defense.resume_latencies()
+            latency = (f", verdict latency mean "
+                       f"{_fmt_ms(statistics.fmean(latencies))} ms"
+                       if latencies else "")
+            lines.append(f"  resume handshakes: {parts}{latency}")
+        if defense.checkpoints:
+            size = (f" ({defense.checkpoint_bytes_last} bytes last)"
+                    if defense.checkpoint_bytes_last is not None else "")
+            lines.append(f"  {defense.checkpoints} checkpoints{size}")
+        if defense.gap_reconciled:
+            lines.append(f"  {defense.gap_reconciled} checkpoint-gap packets "
+                         f"reconciled without loss signals")
     return "\n".join(lines)
 
 
@@ -670,4 +778,36 @@ def render_markdown(analysis: TraceAnalysis,
                      f"`{health.final_state}`.")
     else:
         lines.append("No health transitions recorded.")
+
+    defense = analysis.defense
+    if defense.active:
+        lines.append("")
+        lines.append("## Sidecar defense")
+        lines.append("")
+        if defense.violations:
+            lines.append("| violation kind | count |")
+            lines.append("|---|---|")
+            for kind, count in sorted(defense.violations.items()):
+                lines.append(f"| {kind} | {count} |")
+            lines.append("")
+        bullets = []
+        if defense.count_regressions:
+            bullets.append(f"* {defense.count_regressions} count regressions")
+        for time, kind in defense.quarantines:
+            bullets.append(f"* quarantined at {time:.3f} s "
+                           f"(trigger: `{kind}`)")
+        if defense.resumes:
+            parts = ", ".join(f"{phase}={count}" for phase, count
+                              in sorted(defense.resumes.items()))
+            latencies = defense.resume_latencies()
+            latency = (f"; verdict latency mean "
+                       f"{_fmt_ms(statistics.fmean(latencies))} ms"
+                       if latencies else "")
+            bullets.append(f"* resume handshakes: {parts}{latency}")
+        if defense.checkpoints:
+            bullets.append(f"* {defense.checkpoints} checkpoints taken")
+        if defense.gap_reconciled:
+            bullets.append(f"* {defense.gap_reconciled} checkpoint-gap "
+                           f"packets reconciled without loss signals")
+        lines.extend(bullets)
     return "\n".join(lines)

@@ -69,6 +69,24 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     "sidecar.reset": {"flow": STRING, "epoch": NUMBER, "reason": STRING},
     "sidecar.reset_retry": {"flow": STRING, "epoch": NUMBER},
     "sidecar.health": {"old": STRING, "new": STRING, "reason": STRING},
+    # -- sidecar defense (plausibility gates, quarantine, resume) -------
+    # ``observed``/``expected`` are the counts the gate compared; either
+    # may be null when the signal kind has no numeric evidence.
+    "sidecar.violation": {"flow": STRING, "kind": STRING,
+                          "observed": NUMBER, "expected": NUMBER},
+    "sidecar.quarantine": {"flow": STRING, "kind": STRING,
+                           "signals": NUMBER},
+    "sidecar.count_regression": {"flow": STRING, "observed": NUMBER,
+                                 "expected": NUMBER},
+    # ``role`` is emitter (announcing a restored checkpoint) or consumer
+    # (judging it); ``phase`` is sent / accepted / rejected.
+    "sidecar.resume": {"flow": STRING, "role": STRING, "phase": STRING,
+                       "epoch": NUMBER, "count": NUMBER},
+    "sidecar.checkpoint": {"flow": STRING, "epoch": NUMBER,
+                           "count": NUMBER, "bytes": NUMBER},
+    # Post-resume reconciliation: packets retired from the sender sums
+    # because they were confirmed pre-crash (checkpoint gap), not lost.
+    "sidecar.gap_reconciled": {"flow": STRING, "packets": NUMBER},
 }
 
 #: Components an end-to-end traced scenario must touch (the acceptance

@@ -16,7 +16,10 @@ plus the shared session machinery:
 * frequency policies (Section 4.3) in :mod:`repro.sidecar.frequency`;
 * wire messages in :mod:`repro.sidecar.protocol`;
 * host/proxy agents in :mod:`repro.sidecar.agents`;
-* the graceful-degradation ladder in :mod:`repro.sidecar.health`.
+* the graceful-degradation ladder in :mod:`repro.sidecar.health`;
+* adversarial plausibility gates and quarantine in
+  :mod:`repro.sidecar.defense`;
+* emitter checkpoint/restore in :mod:`repro.sidecar.snapshot`.
 """
 
 from repro.sidecar.ack_reduction import AckReductionResult, run_ack_reduction
@@ -32,6 +35,14 @@ from repro.sidecar.cc_division import (
     run_cc_division,
 )
 from repro.sidecar.consumer import QuackConsumer, QuackFeedback
+from repro.sidecar.defense import (
+    AdversarialSignal,
+    DefenseConfig,
+    PlausibilityValidator,
+    QuarantineLedger,
+    SignalKind,
+    missing_within_log,
+)
 from repro.sidecar.emitter import QuackEmitter
 from repro.sidecar.frequency import (
     AdaptiveFrequency,
@@ -50,17 +61,25 @@ from repro.sidecar.protocol import (
     CorruptFrame,
     QuackMessage,
     ResetMessage,
+    ResumeMessage,
     config_packet,
     decode_control,
     encode_control,
     quack_packet,
     reset_packet,
+    resume_packet,
 )
 from repro.sidecar.retransmission import (
     ReceiverSideRetxProxy,
     RetransmissionResult,
     SenderSideRetxProxy,
     run_retransmission,
+)
+from repro.sidecar.snapshot import (
+    CheckpointStore,
+    EmitterCheckpoint,
+    decode_checkpoint,
+    encode_checkpoint,
 )
 
 __all__ = [
@@ -74,12 +93,24 @@ __all__ = [
     "QuackMessage",
     "ConfigMessage",
     "ResetMessage",
+    "ResumeMessage",
     "CorruptFrame",
     "quack_packet",
     "config_packet",
     "reset_packet",
+    "resume_packet",
     "encode_control",
     "decode_control",
+    "AdversarialSignal",
+    "DefenseConfig",
+    "PlausibilityValidator",
+    "QuarantineLedger",
+    "SignalKind",
+    "missing_within_log",
+    "CheckpointStore",
+    "EmitterCheckpoint",
+    "encode_checkpoint",
+    "decode_checkpoint",
     "HealthConfig",
     "HealthMonitor",
     "HealthState",

@@ -26,6 +26,18 @@ backoff, and a :class:`~repro.sidecar.health.HealthMonitor` (opt-in via
 ``health=HealthConfig()``) walks the sender down the degradation ladder
 to pure end-to-end behavior when the channel goes bad.  Every agent
 exposes its fault counters through ``fault_counters()``.
+
+Two opt-in layers harden this further.  Passing
+``defense=DefenseConfig()`` to :class:`ServerSidecar` arms the
+plausibility validator and quarantine ledger of
+:mod:`repro.sidecar.defense` -- every quACK must pass the
+honest-observer gates before it may touch the consumer, and a sidecar
+caught lying is QUARANTINED (no signals, no resets it could farm for
+stalls).  Passing a :class:`~repro.sidecar.snapshot.CheckpointStore` to
+an emitter agent makes it checkpoint its accumulator periodically and,
+after ``crash_restart()``, restore the latest checkpoint and announce
+itself with a :class:`~repro.sidecar.protocol.ResumeMessage` instead of
+forcing the full reset round-trip.
 """
 
 from __future__ import annotations
@@ -37,8 +49,15 @@ from repro.errors import QuackError, WireFormatError
 from repro.netsim.core import EventHandle, Simulator
 from repro.netsim.node import Host, Router
 from repro.netsim.packet import Packet, PacketKind
+from repro.quack import wire
 from repro.quack.base import DecodeStatus
 from repro.sidecar.consumer import QuackConsumer
+from repro.sidecar.defense import (
+    AdversarialSignal,
+    DefenseConfig,
+    PlausibilityValidator,
+    QuarantineLedger,
+)
 from repro.sidecar.emitter import QuackEmitter
 from repro.sidecar.frequency import FrequencyPolicy
 from repro.sidecar.health import HealthConfig, HealthMonitor, HealthState
@@ -46,8 +65,16 @@ from repro.sidecar.protocol import (
     CorruptFrame,
     QuackMessage,
     ResetMessage,
+    ResumeMessage,
     quack_packet,
     reset_packet,
+    resume_packet,
+)
+from repro.sidecar.snapshot import (
+    CheckpointStore,
+    EmitterCheckpoint,
+    decode_checkpoint,
+    encode_checkpoint,
 )
 from repro.transport.connection import SenderConnection, SentPacketRecord
 
@@ -65,6 +92,43 @@ class _EmitterMixin:
         self.stale_resets = 0
         self.corrupt_frames = 0
         self.restarts = 0
+        self.checkpoints: CheckpointStore | None = None
+        self.checkpoint_interval_s = 0.0
+        self.checkpoints_taken = 0
+        self.checkpoint_restores = 0
+        self.checkpoint_corrupt = 0
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def _arm_checkpoints(self, store: CheckpointStore | None,
+                         interval_s: float) -> None:
+        if store is None:
+            return
+        if interval_s <= 0:
+            raise ValueError(
+                f"checkpoint interval must be > 0, got {interval_s}")
+        self.checkpoints = store
+        self.checkpoint_interval_s = interval_s
+        self.sim.schedule(interval_s, self._checkpoint_tick)
+
+    def _checkpoint_tick(self) -> None:
+        self._take_checkpoint()
+        self.sim.schedule(self.checkpoint_interval_s, self._checkpoint_tick)
+
+    def _take_checkpoint(self) -> None:
+        """Serialize the accumulator to stable storage (latest wins)."""
+        frame = wire.encode(self.emitter.quack, include_count=True,
+                            include_checksum=True)
+        blob = encode_checkpoint(EmitterCheckpoint(
+            flow_id=self.flow_id, epoch=self.epoch,
+            taken_at=self.sim.now, frame=frame))
+        self.checkpoints.save(blob)
+        self.checkpoints_taken += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.checkpoint", self.sim.now,
+                            flow=self.flow_id, epoch=self.epoch,
+                            count=self.emitter.quack.count, bytes=len(blob))
+            obs.count("sidecar_checkpoints_total")
 
     def _apply_reset(self, epoch: int) -> None:
         if epoch < self.epoch:
@@ -81,14 +145,48 @@ class _EmitterMixin:
     def crash_restart(self) -> None:
         """Simulate a middlebox crash/restart: all volatile state is lost.
 
-        The accumulator and the epoch number vanish; the peer must notice
-        (count regression or stale-epoch snapshots) and re-run the reset
-        handshake.  Used by the chaos harness.
+        Without a checkpoint store, the accumulator and the epoch number
+        vanish; the peer must notice (count regression or stale-epoch
+        snapshots) and re-run the reset handshake.  With one, the latest
+        checkpoint is restored -- stale by at most one checkpoint
+        interval, which self-heals through ordinary decodes -- and a
+        :class:`~repro.sidecar.protocol.ResumeMessage` tells the
+        consumer to re-base instead of resetting.  A checkpoint that
+        fails its CRC or describes another flow cold-starts the emitter
+        exactly as if it never existed.  Used by the chaos harness.
         """
         self.restarts += 1
         self.epoch = 0
         self.emitter = QuackEmitter(self.threshold, self.bits,
                                     policy=self.policy)
+        if self.checkpoints is None:
+            return
+        blob = self.checkpoints.load()
+        if blob is None:
+            return
+        try:
+            checkpoint = decode_checkpoint(blob)
+            restored = checkpoint.quack()
+        except WireFormatError:
+            self.checkpoint_corrupt += 1
+            return  # torn write or bit rot: cold start
+        if checkpoint.flow_id != self.flow_id \
+                or restored.threshold != self.threshold:
+            self.checkpoint_corrupt += 1
+            return
+        self.emitter.quack = restored
+        self.epoch = checkpoint.epoch
+        self.checkpoint_restores += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.resume", self.sim.now,
+                            flow=self.flow_id, role="emitter", phase="sent",
+                            epoch=self.epoch, count=restored.count)
+            obs.count("sidecar_resumes_total", phase="sent")
+        self._send_control_message(ResumeMessage(
+            flow_id=self.flow_id, epoch=self.epoch, count=restored.count))
+
+    def _send_control_message(self, message: ResumeMessage) -> None:
+        raise NotImplementedError  # subclasses know their endpoints
 
     def _note_control(self, message) -> ResetMessage | None:
         """Classify a CONTROL payload; returns a reset to apply, if any."""
@@ -109,6 +207,9 @@ class _EmitterMixin:
             "stale_resets": self.stale_resets,
             "corrupt_frames": self.corrupt_frames,
             "restarts": self.restarts,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_restores": self.checkpoint_restores,
+            "checkpoint_corrupt": self.checkpoint_corrupt,
         }
 
 
@@ -117,7 +218,9 @@ class HostEmitterAgent(_EmitterMixin):
 
     def __init__(self, sim: Simulator, host: Host, peer: str, flow_id: str,
                  policy: FrequencyPolicy,
-                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32) -> None:
+                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32,
+                 checkpoints: CheckpointStore | None = None,
+                 checkpoint_interval_s: float = 0.05) -> None:
         self.sim = sim
         self.host = host
         self.peer = peer
@@ -130,6 +233,7 @@ class HostEmitterAgent(_EmitterMixin):
         self.epoch = 0
         self.resets_applied = 0
         self._init_fault_state()
+        self._arm_checkpoints(checkpoints, checkpoint_interval_s)
         host.add_handler(PacketKind.DATA, self._observe)
         host.add_handler(PacketKind.CONTROL, self._on_control)
         interval = policy.interval_hint()
@@ -147,6 +251,10 @@ class HostEmitterAgent(_EmitterMixin):
         reset = self._note_control(packet.payload)
         if reset is not None:
             self._apply_reset(reset.epoch)
+
+    def _send_control_message(self, message: ResumeMessage) -> None:
+        self.host.send(resume_packet(self.host.name, self.peer, message,
+                                     self.sim.now))
 
     def _tick(self, interval: float) -> None:
         if self.emitter.pending_packets:
@@ -178,6 +286,13 @@ class ServerSidecarStats:
     reset_retries: int = 0
     restarts_detected: int = 0
     stale_epoch_quacks: int = 0
+    count_regressions: int = 0
+    adversarial_signals: int = 0
+    quarantines: int = 0
+    resumes_received: int = 0
+    resumes_accepted: int = 0
+    resumes_rejected: int = 0
+    control_corrupt_frames: int = 0
 
 
 class ServerSidecar:
@@ -214,6 +329,18 @@ class ServerSidecar:
     DEGRADED withholds loss declarations, E2E_ONLY suspends all sidecar
     signals (returning congestion control to the end-to-end ACKs if it
     had been divided), and recovery runs through a probation window.
+
+    Passing ``defense=DefenseConfig()`` arms the adversarial defenses of
+    :mod:`repro.sidecar.defense` (and the health ladder too, if it was
+    not already armed -- quarantine needs a ladder to stand on).  Every
+    same-epoch snapshot must pass the plausibility gates before the
+    consumer sees it, violations feed the quarantine ledger, and enough
+    of them move the ladder to QUARANTINED.  Two behaviors flip with the
+    defense armed: a large count regression no longer triggers the
+    implicit restart-heal reset (an adversary replaying old snapshots
+    could farm those resets into a standing stall -- the honest-restart
+    case is healed by the checkpoint/resume handshake instead), and once
+    quarantined no reset is ever initiated on the lying channel.
     """
 
     def __init__(self, sim: Simulator, sender: SenderConnection,
@@ -224,7 +351,8 @@ class ServerSidecar:
                  settle_time: float = 0.25,
                  reset_retry_cap: float = 2.0,
                  restart_margin: int | None = None,
-                 health: HealthConfig | None = None) -> None:
+                 health: HealthConfig | None = None,
+                 defense: DefenseConfig | None = None) -> None:
         self.sim = sim
         self.sender = sender
         self.congestive_loss = congestive_loss
@@ -247,21 +375,39 @@ class ServerSidecar:
         self._retry_handle: EventHandle | None = None
         self._retry_delay = 0.0
         self._reset_reason = "decode failures"
+        #: Simulator time of the last quACK-decoded loss fed to the
+        #: sender (the chaos invariant "no adversary-induced signals
+        #: after quarantine" reads this).
+        self.last_loss_applied_at: float | None = None
         #: Whether congestion control was divided at construction time
         #: (the E2E_ONLY fallback hands it back to the e2e ACKs).
         self._cc_divided = not sender.cc_from_acks
+        if defense is not None and health is None:
+            health = HealthConfig()
+        self.defense = defense
+        self.validator = PlausibilityValidator(
+            defense, threshold, self.consumer.mine.count_bits,
+            sender.flow_id) if defense is not None else None
+        self.ledger = QuarantineLedger.from_config(defense) \
+            if defense is not None else None
         self.monitor = HealthMonitor(health) if health is not None else None
         if self.monitor is not None:
             interval = self.monitor.config.stale_after / 2
             sim.schedule(interval, self._check_staleness, interval)
         sender.add_send_listener(self._on_send)
         sender.host.add_handler(PacketKind.QUACK, self._on_quack_packet)
+        sender.host.add_handler(PacketKind.CONTROL, self._on_control_packet)
 
     @property
     def health_state(self) -> HealthState:
         """Current rung of the degradation ladder (HEALTHY when unarmed)."""
         return self.monitor.state if self.monitor is not None \
             else HealthState.HEALTHY
+
+    @property
+    def quarantined(self) -> bool:
+        """Is the sidecar channel on the QUARANTINED rung?"""
+        return self.monitor is not None and self.monitor.quarantined
 
     def fault_counters(self) -> dict[str, int | str]:
         """The agent's resilience counters (the chaos stats surface)."""
@@ -275,6 +421,13 @@ class ServerSidecar:
             "restarts_detected": self.stats.restarts_detected,
             "receipts_suppressed": self.stats.receipts_suppressed,
             "losses_suppressed": self.stats.losses_suppressed,
+            "count_regressions": self.stats.count_regressions,
+            "adversarial_signals": self.stats.adversarial_signals,
+            "quarantines": self.stats.quarantines,
+            "resumes_received": self.stats.resumes_received,
+            "resumes_accepted": self.stats.resumes_accepted,
+            "resumes_rejected": self.stats.resumes_rejected,
+            "control_corrupt_frames": self.stats.control_corrupt_frames,
             "health": self.health_state.value,
         }
         return counters
@@ -320,16 +473,44 @@ class ServerSidecar:
             # type): treat like decode divergence.
             self._register_failure()
             return
-        if self._detect_restart(quack.count):
+        now = self.sim.now
+        if self.validator is not None:
+            verdict = self.validator.check_snapshot(
+                quack.count, self.consumer.mine.count, now)
+            if verdict.signal is not None:
+                self._record_signal(verdict.signal)
+            if verdict.action != "accept":
+                if verdict.action == "regressed":
+                    # A wiped accumulator or a replayed old snapshot.
+                    # Either way: drop, no reset -- an honest restart
+                    # heals through the resume handshake, and a replayer
+                    # must not be able to farm reset stalls.
+                    self._trace_count_regression(
+                        quack.count, verdict.signal.expected)
+                    self._note_health_failure("count regression")
+                return
+        elif self._detect_restart(quack.count):
             return
-        feedback = self.consumer.on_quack(quack, self.sim.now)
+        feedback = self.consumer.on_quack(quack, now)
         if not feedback.ok:
+            if self.validator is not None:
+                forged = self.validator.classify_decode_failure(
+                    feedback.status, feedback.num_missing,
+                    self.consumer.outstanding, now)
+                if forged is not None:
+                    self._record_signal(forged)
             self._register_failure()
             return
         self._consecutive_failures = 0
         self._last_emitter_count = quack.count
+        if self.validator is not None:
+            self.validator.note_accepted(quack.count)
+        if feedback.reconciled and obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.gap_reconciled", now,
+                            flow=self.sender.flow_id,
+                            packets=feedback.reconciled)
         if self.monitor is not None:
-            self.monitor.on_good_quack(self.sim.now)
+            self.monitor.on_good_quack(now)
             self._sync_health()
         self.stats.indeterminate_seen += len(feedback.indeterminate)
         allow_receipts = self.monitor.allow_receipts \
@@ -345,6 +526,7 @@ class ServerSidecar:
         if feedback.lost and self.apply_losses:
             if allow_losses:
                 self.stats.losses_applied += len(feedback.lost)
+                self.last_loss_applied_at = now
                 self.sender.sidecar_loss(feedback.lost,
                                          congestive=self.congestive_loss)
             else:
@@ -370,10 +552,118 @@ class ServerSidecar:
         if not self.restart_margin <= regression < modulus // 2:
             return False
         self.stats.restarts_detected += 1
+        self._trace_count_regression(count, self._last_emitter_count)
         self._note_health_failure("emitter restart")
         if not self._settling:
             self._begin_reset("emitter restart")
         return True
+
+    def _trace_count_regression(self, observed: int, expected: int) -> None:
+        """Record a count regression (with both counts) before any heal."""
+        self.stats.count_regressions += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.count_regression", self.sim.now,
+                            flow=self.sender.flow_id, observed=observed,
+                            expected=expected)
+            obs.count("sidecar_count_regressions_total")
+
+    # -- adversarial defense (plausibility gates + quarantine) -------------------
+
+    def _record_signal(self, signal: AdversarialSignal) -> None:
+        """Ledger one plausibility violation; quarantine on the verdict."""
+        self.stats.adversarial_signals += 1
+        now = self.sim.now
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.violation", now,
+                            flow=self.sender.flow_id, kind=signal.kind.value,
+                            observed=signal.observed, expected=signal.expected)
+            obs.count("sidecar_violations_total", kind=signal.kind.value)
+        if self.ledger is None or self.monitor is None:
+            return
+        if self.ledger.record(signal):
+            self.stats.quarantines += 1
+            self._cancel_retry()
+            self.monitor.on_adversarial(
+                now, f"quarantined: {signal.kind.value}")
+            self._sync_health()
+            if obs.TRACER.enabled:
+                obs.TRACER.emit("sidecar.quarantine", now,
+                                flow=self.sender.flow_id,
+                                kind=signal.kind.value,
+                                signals=len(self.ledger.signals))
+                obs.count("sidecar_quarantines_total")
+        elif self.monitor.quarantined:
+            # Still lying while quarantined: restart the clean clock.
+            self.monitor.on_adversarial(now, signal.kind.value)
+
+    # -- checkpoint/restore (resume handshake, consumer side) --------------------
+
+    def _on_control_packet(self, packet: Packet) -> None:
+        message = packet.payload
+        if isinstance(message, CorruptFrame):
+            if not message.flow_id or message.flow_id == self.sender.flow_id:
+                self.stats.control_corrupt_frames += 1
+            return
+        if not isinstance(message, ResumeMessage) \
+                or message.flow_id != self.sender.flow_id:
+            return
+        now = self.sim.now
+        self.stats.resumes_received += 1
+        self._peer = packet.src
+        if self.quarantined:
+            # No handshake with a quarantined peer: probation is earned
+            # through clean snapshots, not announcements.
+            self._finish_resume(message, "rejected")
+            return
+        if message.epoch < self.epoch:
+            # A pre-reset checkpoint was restored: not adversarial, but
+            # it describes an abandoned epoch.  Repeat the reset.
+            self._finish_resume(message, "rejected")
+            self._send_reset()
+            return
+        signal = None
+        if self.validator is not None:
+            signal = self.validator.check_resume(
+                message.epoch, message.count, current_epoch=self.epoch,
+                sent_count=self.consumer.mine.count, now=now)
+            implausible = signal is not None
+        else:
+            modulus = 1 << self.consumer.mine.count_bits
+            ahead = (message.count - self.consumer.mine.count) % modulus
+            implausible = (message.epoch > self.epoch
+                           or 0 < ahead < modulus // 2)
+        if implausible:
+            if signal is not None:
+                self._record_signal(signal)
+            self._finish_resume(message, "rejected")
+            if not self.quarantined:
+                self._send_reset()
+            return
+        # Plausible: re-base the expected emitter count at the restored
+        # checkpoint and arm gap reconciliation.  Packets observed after
+        # the checkpoint but confirmed received pre-crash are in the
+        # sender sums only; the next decode retires them via the
+        # recently-confirmed ring -- no pause, no reset round-trip, no
+        # spurious loss reports (end-to-end ACKs already covered them).
+        self._confirm_epoch()
+        self._consecutive_failures = 0
+        self._last_emitter_count = message.count
+        if self.validator is not None:
+            self.validator.rewind(message.count)
+        self.consumer.arm_reconciliation()
+        self._finish_resume(message, "accepted")
+
+    def _finish_resume(self, message: ResumeMessage, outcome: str) -> None:
+        if outcome == "accepted":
+            self.stats.resumes_accepted += 1
+        else:
+            self.stats.resumes_rejected += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.resume", self.sim.now,
+                            flow=self.sender.flow_id, role="consumer",
+                            phase=outcome, epoch=message.epoch,
+                            count=message.count)
+            obs.count("sidecar_resumes_total", phase=outcome)
 
     # -- reset protocol (Section 3.3) -------------------------------------------
 
@@ -383,6 +673,7 @@ class ServerSidecar:
         self._note_health_failure("decode failure")
         if (self.reset_after_failures is not None
                 and not self._settling
+                and not self.quarantined
                 and self._consecutive_failures >= self.reset_after_failures):
             self._begin_reset("decode failures")
 
@@ -444,7 +735,7 @@ class ServerSidecar:
 
     def _retry_reset(self) -> None:
         self._retry_handle = None
-        if self._epoch_confirmed:
+        if self._epoch_confirmed or self.quarantined:
             return
         self.stats.reset_retries += 1
         if obs.TRACER.enabled:
@@ -497,7 +788,9 @@ class ProxyEmitterTap(_EmitterMixin):
 
     def __init__(self, sim: Simulator, router: Router, server: str,
                  client: str, flow_id: str, policy: FrequencyPolicy,
-                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32) -> None:
+                 threshold: int = DEFAULT_THRESHOLD, bits: int = 32,
+                 checkpoints: CheckpointStore | None = None,
+                 checkpoint_interval_s: float = 0.05) -> None:
         self.sim = sim
         self.router = router
         self.server = server
@@ -511,6 +804,7 @@ class ProxyEmitterTap(_EmitterMixin):
         self.epoch = 0
         self.resets_applied = 0
         self._init_fault_state()
+        self._arm_checkpoints(checkpoints, checkpoint_interval_s)
         router.add_tap(self.observe)
         interval = policy.interval_hint()
         if interval is not None:
@@ -546,3 +840,7 @@ class ProxyEmitterTap(_EmitterMixin):
         self.router.send(quack_packet(self.router.name, self.server, snapshot,
                                       self.flow_id, self.sim.now,
                                       epoch=self.epoch))
+
+    def _send_control_message(self, message: ResumeMessage) -> None:
+        self.router.send(resume_packet(self.router.name, self.server, message,
+                                       self.sim.now))

@@ -25,7 +25,7 @@ separately), per Section 3.2.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -62,6 +62,7 @@ class QuackFeedback:
     indeterminate: list[Any] = field(default_factory=list)
     in_transit: int = 0
     num_missing: int = 0
+    reconciled: int = 0
 
     @property
     def ok(self) -> bool:
@@ -75,6 +76,7 @@ class ConsumerStats:
     quacks_failed: int = 0
     declared_lost: int = 0
     confirmed_received: int = 0
+    gap_reconciled: int = 0
 
 
 class QuackConsumer:
@@ -91,6 +93,12 @@ class QuackConsumer:
         self.trailing_in_transit = trailing_in_transit
         self.log: list[LogEntry] = []
         self.stats = ConsumerStats()
+        # Recently *confirmed* identifiers, kept for resume reconciliation:
+        # after a middlebox checkpoint/restore, packets observed between
+        # the checkpoint and the crash may already be confirmed here (and
+        # gone from the log) while absent from the restored accumulator.
+        self._recent_confirmed: deque[int] = deque(maxlen=4 * threshold)
+        self._reconcile_pending = False
 
     @property
     def threshold(self) -> int:
@@ -141,7 +149,12 @@ class QuackConsumer:
             return QuackFeedback(status=DecodeStatus.INCONSISTENT)
         m_total = (self.mine.count - theirs.count) \
             & ((1 << self.mine.count_bits) - 1)
-        if m_total > len(self.log):
+        # After an accepted resume, decode against the log *plus* the
+        # recently-confirmed ring: the checkpoint gap shows up as missing
+        # identifiers that were already confirmed and retired.
+        recent = list(self._recent_confirmed) if self._reconcile_pending \
+            else []
+        if m_total > len(self.log) + len(recent):
             self.stats.quacks_failed += 1
             self._trace_decode(now, DecodeStatus.INCONSISTENT, m_total)
             return QuackFeedback(status=DecodeStatus.INCONSISTENT,
@@ -153,7 +166,7 @@ class QuackConsumer:
         if m_total > self.threshold:
             # Section 3.3, "In-flight packets": treat the newest
             # (m - t) unresolved packets as in transit and decode the rest.
-            drop = m_total - self.threshold
+            drop = min(m_total - self.threshold, len(self.log))
             kept = self.log[:len(self.log) - drop]
             truncated_mine = self.mine.copy()
             for entry in self.log[len(self.log) - drop:]:
@@ -161,7 +174,7 @@ class QuackConsumer:
             in_transit = drop
 
         delta = truncated_mine - theirs
-        result = decode_delta(delta, [e.identifier for e in kept],
+        result = decode_delta(delta, [e.identifier for e in kept] + recent,
                               method=self.decode_method)
         if not result.ok:
             self.stats.quacks_failed += 1
@@ -179,9 +192,24 @@ class QuackConsumer:
         # newest copies are likeliest to still be en route).
         marks = self._mark_entries(kept, missing)
 
+        reconciled = 0
+        if self._reconcile_pending:
+            # Missing identifiers with no log entry to absorb them are
+            # the checkpoint gap: confirmed delivered pre-crash, absent
+            # from the restored accumulator.  Retire them from the sender
+            # sums silently -- they are not losses.
+            assigned = Counter(entry.identifier
+                               for entry, mark in zip(kept, marks) if mark)
+            for identifier in (missing - assigned).elements():
+                self.mine.remove(identifier)
+                reconciled += 1
+            self.stats.gap_reconciled += reconciled
+            self._reconcile_pending = False
+
         feedback = QuackFeedback(status=DecodeStatus.OK,
                                  num_missing=result.num_missing,
-                                 in_transit=in_transit)
+                                 in_transit=in_transit,
+                                 reconciled=reconciled)
         # Trailing continuous run of missing entries is in transit.
         tail_start = len(kept)
         if self.trailing_in_transit:
@@ -208,6 +236,7 @@ class QuackConsumer:
                         survivors.append(entry)
             else:
                 feedback.received.append(entry.meta)
+                self._recent_confirmed.append(entry.identifier)
                 self.stats.confirmed_received += 1
         # The truncated suffix stays in the log untouched.
         survivors.extend(self.log[len(kept):])
@@ -271,8 +300,23 @@ class QuackConsumer:
         self.stats.declared_lost += 1
         return entry.meta
 
+    def arm_reconciliation(self) -> None:
+        """Expect a checkpoint gap in the next successful decode.
+
+        Call after accepting a middlebox resume: packets observed by the
+        emitter after its checkpoint but confirmed received pre-crash are
+        in the sender sums and nowhere else.  The next decode also
+        matches roots against the recently-confirmed ring and retires
+        such identifiers from the sums without declaring them lost.  The
+        flag is one-shot (cleared by the first successful decode); a
+        failed decode keeps it armed for the next snapshot.
+        """
+        self._reconcile_pending = True
+
     def reset(self) -> None:
         """Hard session reset (after unrecoverable decode failures)."""
         self.mine = PowerSumQuack(self.mine.threshold, self.mine.bits,
                                   self.mine.count_bits)
         self.log.clear()
+        self._recent_confirmed.clear()
+        self._reconcile_pending = False

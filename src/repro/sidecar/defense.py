@@ -1,0 +1,347 @@
+"""Sender-side quACK plausibility validation and the quarantine ledger.
+
+The chaos harness models *faulty* sidecars (drops, corruption,
+restarts); this module defends against *adversarial* ones.  The threat
+model follows Secure Middlebox-Assisted QUIC and PEMI: middlebox
+assistance is deployable only when the endpoint can bound what a
+misbehaving helper can do, so every quACK signal is treated as an
+untrusted hint.  The CRC on the wire is an integrity check against
+channel noise, not authentication -- an on-path adversary can emit
+CRC-valid frames carrying arbitrary lies.
+
+The :class:`PlausibilityValidator` sits in front of
+:meth:`~repro.sidecar.consumer.QuackConsumer.on_quack` and enforces what
+an honest observer *cannot* violate:
+
+* **count monotonicity** (modulo the c-bit wraparound) -- the observer's
+  cumulative count only moves forward.  A snapshot slightly behind the
+  best accepted count is network reordering and carries strictly less
+  information than what we already have, so it is dropped silently; a
+  regression of ``replay_margin`` or more is a replayed old snapshot or
+  a wiped accumulator, and is dropped *and* signalled.
+* **count <= packets actually sent** -- the observer cannot have seen
+  more of the flow than the sender put on the wire.
+* **inter-quACK rate sanity** -- an honest emitter is bounded by its
+  frequency policy; a flood of snapshots is a signal in itself.
+* **decoded-missing subseteq sent-log** -- enforced structurally (the
+  decoder only matches roots against the sender's own log,
+  :func:`~repro.quack.decoder.decode_delta`) and re-checkable with
+  :func:`missing_within_log`.
+* **forged evidence** -- a CRC-valid snapshot that passes every count
+  gate but whose power sums and count disagree (an undecodable delta)
+  is cryptographically inconsistent state: either an extremely rare
+  reordering artifact or a tampered frame.
+
+Each violation is a typed :class:`AdversarialSignal` feeding the
+:class:`QuarantineLedger`.  Enough signals inside a window and the
+ledger's verdict moves the
+:class:`~repro.sidecar.health.HealthMonitor` to its ``QUARANTINED``
+rung: all sidecar signals off, no more resets (a lying sidecar must not
+be able to stall the sender with reset round-trips), re-entry only
+through a double probation.
+
+Nothing here touches the transport; the owner
+(:class:`~repro.sidecar.agents.ServerSidecar`) consults the validator's
+:class:`Verdict` per snapshot and acts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.quack.base import DecodeStatus
+
+
+class SignalKind(Enum):
+    """Typed plausibility violations, one per gate."""
+
+    #: The snapshot claims more packets observed than were ever sent.
+    COUNT_AHEAD = "count_ahead"
+    #: Same-epoch count regressed by >= replay_margin: a replayed old
+    #: snapshot (or a wiped accumulator presented without a resume).
+    COUNT_REGRESSION = "count_regression"
+    #: Snapshots arriving faster than any honest frequency policy.
+    RATE_ANOMALY = "rate_anomaly"
+    #: Count gates passed but the delta is undecodable: power sums and
+    #: count disagree inside a checksum-valid frame.
+    FORGED_EVIDENCE = "forged_evidence"
+    #: A decoded missing identifier outside the sender's own log.
+    MISSING_NOT_SENT = "missing_not_sent"
+    #: A ResumeMessage whose epoch/count no honest restart produces.
+    IMPLAUSIBLE_RESUME = "implausible_resume"
+
+
+@dataclass(frozen=True)
+class AdversarialSignal:
+    """One recorded plausibility violation."""
+
+    time: float
+    kind: SignalKind
+    flow_id: str
+    detail: str
+    observed: int = 0
+    expected: int = 0
+
+
+@dataclass
+class DefenseConfig:
+    """Gate thresholds.  ``None`` margins resolve against the quACK
+    threshold at validator construction."""
+
+    #: Count regression at or beyond this is a replay/wipe signal;
+    #: below it, a silently dropped reordered snapshot.  Defaults to the
+    #: owner's restart margin (4 * threshold) so the two bands agree.
+    replay_margin: int | None = None
+    #: Counts may run ahead of the sent log by at most this much
+    #: (0: an observer can never have seen an unsent packet).
+    ahead_tolerance: int = 0
+    #: Rate gate: more than ``rate_max`` snapshots inside
+    #: ``rate_window_s`` seconds trips RATE_ANOMALY.  None disables.
+    rate_max: int | None = None
+    rate_window_s: float = 0.05
+    #: Ledger: this many signals within ``signal_window_s`` -> quarantine.
+    quarantine_after: int = 3
+    signal_window_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}")
+        if self.signal_window_s <= 0 or self.rate_window_s <= 0:
+            raise ValueError("signal/rate windows must be positive")
+        if self.rate_max is not None and self.rate_max < 1:
+            raise ValueError(f"rate_max must be >= 1, got {self.rate_max}")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """What to do with one snapshot.
+
+    ``action`` is ``accept`` (feed the consumer), ``drop`` (discard --
+    stale reordering or an active violation), or ``regressed`` (discard
+    and signalled: the restart/replay band; the owner decides whether a
+    reset-based heal is still trusted).  ``signal`` is the violation to
+    ledger, if any.
+    """
+
+    action: str
+    signal: AdversarialSignal | None = None
+
+
+_ACCEPT = Verdict(action="accept")
+
+
+@dataclass
+class ValidatorStats:
+    checked: int = 0
+    accepted: int = 0
+    stale_dropped: int = 0
+    signals: int = 0
+
+
+class PlausibilityValidator:
+    """Stateful plausibility gates for one flow's quACK stream."""
+
+    def __init__(self, config: DefenseConfig, threshold: int,
+                 count_bits: int, flow_id: str) -> None:
+        self.config = config
+        self.flow_id = flow_id
+        self.modulus = 1 << count_bits
+        self.replay_margin = config.replay_margin \
+            if config.replay_margin is not None else 4 * threshold
+        #: The furthest-forward count accepted so far (mod-aware), or
+        #: None before the first accepted snapshot.
+        self.max_count: int | None = None
+        self._arrivals: deque[float] = deque()
+        self.stats = ValidatorStats()
+
+    # -- bookkeeping the owner drives -----------------------------------------
+
+    def note_accepted(self, count: int) -> None:
+        """An accepted snapshot advanced the high-water count."""
+        self.stats.accepted += 1
+        if self.max_count is None:
+            self.max_count = count
+            return
+        ahead = (count - self.max_count) % self.modulus
+        if 0 < ahead < self.modulus // 2:
+            self.max_count = count
+
+    def rewind(self, count: int) -> None:
+        """A validated resume handshake re-based the emitter at ``count``."""
+        self.max_count = count
+
+    # -- the gates -------------------------------------------------------------
+
+    def check_snapshot(self, count: int, sent_count: int,
+                       now: float) -> Verdict:
+        """Run the pre-decode gates over one snapshot's count."""
+        self.stats.checked += 1
+        signal = self._check_rate(now)
+        if signal is None:
+            signal = self._check_ahead(count, sent_count, now)
+        if signal is not None:
+            self.stats.signals += 1
+            return Verdict(action="drop", signal=signal)
+        if self.max_count is not None:
+            behind = (self.max_count - count) % self.modulus
+            if 0 < behind < self.modulus // 2:
+                if behind >= self.replay_margin:
+                    self.stats.signals += 1
+                    return Verdict(action="regressed", signal=AdversarialSignal(
+                        time=now, kind=SignalKind.COUNT_REGRESSION,
+                        flow_id=self.flow_id,
+                        detail=f"count regressed {behind} "
+                               f"(replay margin {self.replay_margin})",
+                        observed=count, expected=self.max_count))
+                # A slightly older snapshot of a cumulative accumulator
+                # carries strictly less information: benign reordering.
+                self.stats.stale_dropped += 1
+                return Verdict(action="drop")
+        return _ACCEPT
+
+    def _check_rate(self, now: float) -> AdversarialSignal | None:
+        if self.config.rate_max is None:
+            return None
+        window = self.config.rate_window_s
+        arrivals = self._arrivals
+        arrivals.append(now)
+        while arrivals and arrivals[0] <= now - window:
+            arrivals.popleft()
+        if len(arrivals) > self.config.rate_max:
+            return AdversarialSignal(
+                time=now, kind=SignalKind.RATE_ANOMALY, flow_id=self.flow_id,
+                detail=f"{len(arrivals)} snapshots inside {window} s "
+                       f"(max {self.config.rate_max})",
+                observed=len(arrivals), expected=self.config.rate_max)
+        return None
+
+    def _check_ahead(self, count: int, sent_count: int,
+                     now: float) -> AdversarialSignal | None:
+        ahead = (count - sent_count) % self.modulus
+        if self.config.ahead_tolerance < ahead < self.modulus // 2:
+            return AdversarialSignal(
+                time=now, kind=SignalKind.COUNT_AHEAD, flow_id=self.flow_id,
+                detail=f"observer claims {ahead} more packets than were sent",
+                observed=count, expected=sent_count)
+        return None
+
+    def classify_decode_failure(self, status: DecodeStatus, num_missing: int,
+                                outstanding: int,
+                                now: float) -> AdversarialSignal | None:
+        """Post-decode gate: an undecodable delta behind valid count gates.
+
+        An honest emitter's snapshot always satisfies
+        ``missing <= outstanding`` and its power sums always match its
+        count (both are maintained by the same fold), so an
+        INCONSISTENT delta whose counts passed the pre-decode gates
+        means the frame's count and sums disagree -- forged evidence.
+        (The rare honest cause is the Section 3.3 reordering hazard of
+        an expired packet arriving late; the ledger's window absorbs
+        singletons.)
+        """
+        if status is not DecodeStatus.INCONSISTENT:
+            return None
+        return AdversarialSignal(
+            time=now, kind=SignalKind.FORGED_EVIDENCE, flow_id=self.flow_id,
+            detail=f"checksum-valid snapshot undecodable "
+                   f"({num_missing} missing vs {outstanding} outstanding)",
+            observed=num_missing, expected=outstanding)
+
+    def check_resume(self, epoch: int, count: int, *, current_epoch: int,
+                     sent_count: int, now: float) -> AdversarialSignal | None:
+        """Plausibility gates over a ResumeMessage; None means accept.
+
+        A resume for a *past* epoch is not adversarial -- the middlebox
+        restored a pre-reset checkpoint -- so the owner answers it with
+        a repeat reset rather than consulting this gate.
+        """
+        if epoch > current_epoch:
+            return AdversarialSignal(
+                time=now, kind=SignalKind.IMPLAUSIBLE_RESUME,
+                flow_id=self.flow_id,
+                detail=f"resume claims epoch {epoch}, never issued "
+                       f"(current {current_epoch})",
+                observed=epoch, expected=current_epoch)
+        ahead = (count - sent_count) % self.modulus
+        if self.config.ahead_tolerance < ahead < self.modulus // 2:
+            return AdversarialSignal(
+                time=now, kind=SignalKind.IMPLAUSIBLE_RESUME,
+                flow_id=self.flow_id,
+                detail=f"resume count runs {ahead} ahead of the sent log",
+                observed=count, expected=sent_count)
+        return None
+
+
+def missing_within_log(missing: Iterable[int],
+                       log_identifiers: Iterable[int]) -> list[int]:
+    """Identifiers decoded as missing that were never in the sent log.
+
+    :func:`~repro.quack.decoder.decode_delta` matches roots against the
+    sender's own log, so a non-empty return is unreachable through that
+    path; the check exists as defense in depth for alternative decoders
+    and as the executable statement of the decoded-missing subseteq
+    sent-log gate.
+    """
+    from collections import Counter
+
+    budget = Counter(log_identifiers)
+    alien: list[int] = []
+    for identifier in missing:
+        if budget.get(identifier, 0) > 0:
+            budget[identifier] -= 1
+        else:
+            alien.append(identifier)
+    return alien
+
+
+# -- the quarantine ledger -----------------------------------------------------
+
+@dataclass
+class QuarantineLedger:
+    """Per-sidecar record of violations and the quarantine verdict.
+
+    The ledger is append-only evidence: every signal is kept (the audit
+    trail chaos tests and ``repro analyze`` read), and once
+    ``quarantine_after`` signals land inside ``signal_window_s`` the
+    ledger's verdict flips.  The verdict is sticky -- a quarantined
+    sidecar earns no fresh verdicts; re-entry is the health ladder's
+    probation business, not the ledger's.
+    """
+
+    quarantine_after: int = 3
+    signal_window_s: float = 5.0
+    signals: list[AdversarialSignal] = field(default_factory=list)
+    quarantined_at: float | None = None
+    quarantines: int = 0
+
+    @classmethod
+    def from_config(cls, config: DefenseConfig) -> "QuarantineLedger":
+        return cls(quarantine_after=config.quarantine_after,
+                   signal_window_s=config.signal_window_s)
+
+    def record(self, signal: AdversarialSignal) -> bool:
+        """Ledger one signal; True when this one trips quarantine."""
+        self.signals.append(signal)
+        if self.quarantined_at is not None:
+            return False
+        horizon = signal.time - self.signal_window_s
+        recent = sum(1 for s in self.signals if s.time > horizon)
+        if recent >= self.quarantine_after:
+            self.quarantined_at = signal.time
+            self.quarantines += 1
+            return True
+        return False
+
+    def by_kind(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for signal in self.signals:
+            tally[signal.kind.value] = tally.get(signal.kind.value, 0) + 1
+        return tally
+
+    @property
+    def quarantined(self) -> bool:
+        return self.quarantined_at is not None

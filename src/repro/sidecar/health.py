@@ -25,12 +25,23 @@ accident:
     Decodable quACKs are arriving again.  Signals stay off for a
     probation window; a clean window re-enters ``HEALTHY``, any failure
     falls straight back to ``E2E_ONLY``.
+``QUARANTINED``
+    The channel is not merely broken but *lying*: the quarantine ledger
+    (:mod:`repro.sidecar.defense`) proved plausibility violations, so no
+    signal from this sidecar can be trusted.  Terminal until probation:
+    unlike E2E_ONLY -- which re-enters RECOVERING on the first decodable
+    quACK -- a quarantined channel must first sustain
+    ``quarantine_probation`` seconds of *clean* decodes before it is
+    even allowed onto the RECOVERING rung (and then serves the normal
+    probation on top).  Staleness cannot lift it and any failure or
+    fresh violation restarts the clock.
 
 The monitor is driven by its owner (:class:`~repro.sidecar.agents
 .ServerSidecar`): ``on_good_quack`` / ``on_failure`` per processed
-snapshot, ``on_stale`` from a staleness timer.  It never touches the
-transport itself; the owner reads :attr:`allow_receipts` /
-:attr:`allow_losses` / :attr:`e2e_only` and acts.
+snapshot, ``on_stale`` from a staleness timer, ``on_adversarial`` from
+the quarantine ledger's verdict.  It never touches the transport
+itself; the owner reads :attr:`allow_receipts` / :attr:`allow_losses` /
+:attr:`e2e_only` / :attr:`quarantined` and acts.
 """
 
 from __future__ import annotations
@@ -48,6 +59,7 @@ class HealthState(Enum):
     DEGRADED = "degraded"
     E2E_ONLY = "e2e_only"
     RECOVERING = "recovering"
+    QUARANTINED = "quarantined"
 
 
 @dataclass(frozen=True)
@@ -73,6 +85,10 @@ class HealthConfig:
     e2e_only_after: int = 5      # consecutive failures -> E2E_ONLY
     stale_after: float = 1.0     # seconds without a decodable quACK
     probation: float = 0.5       # clean seconds before RECOVERING -> HEALTHY
+    #: Clean seconds a QUARANTINED channel must sustain before it may
+    #: re-enter RECOVERING (re-entry is deliberately slower than the
+    #: failure path's: E2E_ONLY recovers on the first decodable quACK).
+    quarantine_probation: float = 1.0
 
     def __post_init__(self) -> None:
         if self.degrade_after < 1 or self.e2e_only_after < self.degrade_after:
@@ -81,6 +97,8 @@ class HealthConfig:
                 f"{self.degrade_after}, {self.e2e_only_after}")
         if self.stale_after <= 0 or self.probation < 0:
             raise ValueError("stale_after must be > 0 and probation >= 0")
+        if self.quarantine_probation < 0:
+            raise ValueError("quarantine_probation must be >= 0")
 
 
 @dataclass
@@ -88,6 +106,7 @@ class HealthStats:
     degradations: int = 0
     e2e_fallbacks: int = 0
     recoveries: int = 0
+    quarantines: int = 0
     transitions: list[HealthTransition] = field(default_factory=list)
 
 
@@ -101,6 +120,7 @@ class HealthMonitor:
         self.consecutive_failures = 0
         self.last_good_quack: float | None = None
         self._probation_started: float | None = None
+        self._quarantine_clean_since: float | None = None
 
     # -- signal gating --------------------------------------------------------
 
@@ -118,13 +138,26 @@ class HealthMonitor:
     def e2e_only(self) -> bool:
         return self.state is HealthState.E2E_ONLY
 
+    @property
+    def quarantined(self) -> bool:
+        return self.state is HealthState.QUARANTINED
+
     # -- events ---------------------------------------------------------------
 
     def on_good_quack(self, now: float) -> None:
         """A snapshot of the current epoch decoded cleanly."""
         self.consecutive_failures = 0
         self.last_good_quack = now
-        if self.state in (HealthState.E2E_ONLY, HealthState.DEGRADED):
+        if self.state is HealthState.QUARANTINED:
+            if self._quarantine_clean_since is None:
+                self._quarantine_clean_since = now
+            elif (now - self._quarantine_clean_since
+                    >= self.config.quarantine_probation):
+                self._quarantine_clean_since = None
+                self._probation_started = now
+                self._transition(now, HealthState.RECOVERING,
+                                 "quarantine probation served")
+        elif self.state in (HealthState.E2E_ONLY, HealthState.DEGRADED):
             self._probation_started = now
             self._transition(now, HealthState.RECOVERING, "decodable again")
         elif self.state is HealthState.RECOVERING:
@@ -137,6 +170,10 @@ class HealthMonitor:
     def on_failure(self, now: float, reason: str = "decode failure") -> None:
         """A snapshot arrived but could not be used (corrupt/undecodable)."""
         self.consecutive_failures += 1
+        if self.state is HealthState.QUARANTINED:
+            # Terminal until probation: a failure restarts the clean clock.
+            self._quarantine_clean_since = None
+            return
         if self.state is HealthState.RECOVERING:
             self._probation_started = None
             self._transition(now, HealthState.E2E_ONLY,
@@ -156,12 +193,26 @@ class HealthMonitor:
 
     def on_stale(self, now: float) -> None:
         """The staleness timer found no decodable quACK within the horizon."""
-        if self.state is HealthState.E2E_ONLY:
-            return
+        if self.state in (HealthState.E2E_ONLY, HealthState.QUARANTINED):
+            return  # quarantine outranks staleness: silence is no pardon
         if self.state is HealthState.RECOVERING:
             self._probation_started = None
         self.stats.e2e_fallbacks += 1
         self._transition(now, HealthState.E2E_ONLY, "quACKs stale")
+
+    def on_adversarial(self, now: float, reason: str = "plausibility") -> None:
+        """The quarantine ledger's verdict: this channel is lying.
+
+        Enters (or re-confirms) QUARANTINED from any rung.  While
+        quarantined a fresh violation restarts the clean-probation
+        clock, so an adversary that keeps lying never re-enters.
+        """
+        self._probation_started = None
+        self._quarantine_clean_since = None
+        if self.state is HealthState.QUARANTINED:
+            return
+        self.stats.quarantines += 1
+        self._transition(now, HealthState.QUARANTINED, reason)
 
     def is_stale(self, now: float) -> bool:
         """No decodable quACK within the configured horizon?"""

@@ -44,6 +44,7 @@ CONTROL_MAGIC = b"sC"
 CONTROL_VERSION = 1
 _CONTROL_RESET = 1
 _CONTROL_CONFIG = 2
+_CONTROL_RESUME = 3
 #: Sentinel for "field not present" in serialized ConfigMessages.
 _ABSENT = 0xFFFFFFFF
 
@@ -96,6 +97,25 @@ class ConfigMessage:
 
 
 @dataclass(frozen=True)
+class ResumeMessage:
+    """Emitter -> consumer: a restarted middlebox re-joins from a checkpoint.
+
+    A middlebox that checkpoints its accumulator
+    (:mod:`repro.sidecar.snapshot`) announces after a restart that it
+    restored ``epoch`` at cumulative ``count`` instead of coming back
+    empty.  The consumer validates the claim with the plausibility gates
+    (:meth:`~repro.sidecar.defense.PlausibilityValidator.check_resume`)
+    and, if it holds, re-bases its expected emitter count -- no pause,
+    no reset round-trip; the checkpoint gap self-heals through ordinary
+    decodes.  An implausible resume is answered with a full reset.
+    """
+
+    flow_id: str
+    epoch: int
+    count: int
+
+
+@dataclass(frozen=True)
 class CorruptFrame:
     """A sidecar datagram whose bytes no longer parse.
 
@@ -114,15 +134,19 @@ class CorruptFrame:
 # offset  size  field
 # 0       2     magic b"sC"
 # 2       1     version (1)
-# 3       1     type (1 = reset, 2 = config)
+# 3       1     type (1 = reset, 2 = config, 3 = resume)
 # 4       2     flow-id length, big-endian, then the UTF-8 flow id
 # ..      --    type-specific fields (reset: epoch u32; config: every_n
-#               u32, interval_us u32, threshold u32 -- 0xFFFFFFFF = absent)
+#               u32, interval_us u32, threshold u32 -- 0xFFFFFFFF = absent;
+#               resume: epoch u32, count u32)
 # -4      4     CRC-32 over everything before it
 
-def encode_control(message: ResetMessage | ConfigMessage) -> bytes:
+ControlMessage = ResetMessage | ConfigMessage | ResumeMessage
+
+
+def encode_control(message: ControlMessage) -> bytes:
     """Serialize a control message, CRC included."""
-    if not isinstance(message, (ResetMessage, ConfigMessage)):
+    if not isinstance(message, (ResetMessage, ConfigMessage, ResumeMessage)):
         raise WireFormatError(
             f"cannot serialize control message {type(message).__name__}")
     flow = message.flow_id.encode("utf-8")
@@ -132,6 +156,11 @@ def encode_control(message: ResetMessage | ConfigMessage) -> bytes:
         head.append(struct.pack(">H", len(flow)))
         head.append(flow)
         head.append(struct.pack(">I", message.epoch))
+    elif isinstance(message, ResumeMessage):
+        head.append(bytes((_CONTROL_RESUME,)))
+        head.append(struct.pack(">H", len(flow)))
+        head.append(flow)
+        head.append(struct.pack(">II", message.epoch, message.count))
     else:
         head.append(bytes((_CONTROL_CONFIG,)))
         head.append(struct.pack(">H", len(flow)))
@@ -145,7 +174,7 @@ def encode_control(message: ResetMessage | ConfigMessage) -> bytes:
     return body + struct.pack(">I", zlib.crc32(body))
 
 
-def decode_control(frame: bytes) -> ResetMessage | ConfigMessage:
+def decode_control(frame: bytes) -> ControlMessage:
     """Parse control-message bytes; malformed input raises WireFormatError."""
     if len(frame) < 10:
         raise WireFormatError(f"control frame too short: {len(frame)} bytes")
@@ -171,6 +200,12 @@ def decode_control(frame: bytes) -> ResetMessage | ConfigMessage:
             raise WireFormatError(f"reset body is {len(rest)} bytes, expected 4")
         (epoch,) = struct.unpack(">I", rest)
         return ResetMessage(flow_id=flow_id, epoch=epoch)
+    if kind == _CONTROL_RESUME:
+        if len(rest) != 8:
+            raise WireFormatError(
+                f"resume body is {len(rest)} bytes, expected 8")
+        epoch, count = struct.unpack(">II", rest)
+        return ResumeMessage(flow_id=flow_id, epoch=epoch, count=count)
     if kind == _CONTROL_CONFIG:
         if len(rest) != 12:
             raise WireFormatError(f"config body is {len(rest)} bytes, expected 12")
@@ -206,6 +241,18 @@ def quack_packet(src: str, dst: str, quack: PowerSumQuack, flow_id: str,
 def reset_packet(src: str, dst: str, message: ResetMessage,
                  now: float) -> Packet:
     """Wrap a session reset in a datagram."""
+    return Packet(
+        src=src, dst=dst,
+        size_bytes=SIDECAR_HEADER_BYTES + len(encode_control(message)),
+        kind=PacketKind.CONTROL,
+        identifier=None, flow_id=message.flow_id, created_at=now,
+        payload=message,
+    )
+
+
+def resume_packet(src: str, dst: str, message: ResumeMessage,
+                  now: float) -> Packet:
+    """Wrap a restart-resume announcement in a datagram."""
     return Packet(
         src=src, dst=dst,
         size_bytes=SIDECAR_HEADER_BYTES + len(encode_control(message)),

@@ -1,0 +1,155 @@
+"""Middlebox checkpoint/restore: survive a restart without a full reset.
+
+Without this module a crashed middlebox loses its cumulative power-sum
+state; the consumer detects the count regression and heals with the
+Section 3.3 reset protocol -- a full round-trip with the sender paused
+for two settle windows.  With it, the emitter periodically serializes
+its accumulator to stable storage (:class:`CheckpointStore`, the
+simulator's stand-in for a file the process re-reads after a reboot)
+and, on restart, restores the latest checkpoint and announces itself
+with a :class:`~repro.sidecar.protocol.ResumeMessage` instead of coming
+back empty.
+
+The restore is deliberately allowed to be *stale*: packets observed
+after the checkpoint but before the crash (the gap, bounded by the
+checkpoint interval) are simply absent from the restored accumulator.
+Most of the gap was already *confirmed received* by pre-crash snapshots
+-- those identifiers are still folded into the sender's power sums but
+long gone from its log, so no amount of decoding can re-resolve them.
+The consumer therefore keeps a bounded ring of recently confirmed
+identifiers and, on an accepted resume, arms a one-shot reconciliation
+(:meth:`~repro.sidecar.consumer.QuackConsumer.arm_reconciliation`):
+the next decode also matches roots against that ring, and gap
+identifiers found there are retired from the sender sums silently --
+not declared lost, no retransmission (their end-to-end ACKs long since
+covered them).  Unconfirmed gap packets still in the log take the
+normal strike path.  After that one decode both cumulative states agree
+exactly, so assistance resumes within one resume-handshake delivery
+instead of a reset round-trip, which the trace analytics' dwell-time
+comparison makes visible.
+
+Checkpoints are framed like every other sidecar byte string: magic,
+version, and a trailing CRC-32, with any malformation raising
+:class:`~repro.errors.WireFormatError` -- a half-written or bit-rotted
+checkpoint must cold-start the emitter, never restore garbage into the
+session.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import WireFormatError
+from repro.quack import wire
+from repro.quack.power_sum import PowerSumQuack
+
+#: Magic prefix of serialized checkpoints ("sidecar Snapshot").
+CHECKPOINT_MAGIC = b"sK"
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EmitterCheckpoint:
+    """One serialized emitter state: epoch plus the accumulator frame.
+
+    ``frame`` is the quACK wire encoding (count and CRC included) of the
+    accumulator at ``taken_at`` -- the same bytes a snapshot would put on
+    the wire, so the restore path reuses the wire decoder and all its
+    validation.
+    """
+
+    flow_id: str
+    epoch: int
+    taken_at: float
+    frame: bytes
+
+    def quack(self) -> PowerSumQuack:
+        """Deserialize the checkpointed accumulator (validating its CRC)."""
+        decoded = wire.decode(self.frame)
+        if not isinstance(decoded, PowerSumQuack):
+            raise WireFormatError(
+                "checkpoint does not carry a power-sum quACK")
+        return decoded
+
+
+def encode_checkpoint(checkpoint: EmitterCheckpoint) -> bytes:
+    """Serialize a checkpoint, CRC included.
+
+    Layout: magic ``sK``, version, flow-id length u16 + UTF-8 flow id,
+    epoch u32, taken_at f64, frame length u32 + frame bytes, CRC-32
+    trailer over everything before it.
+    """
+    flow = checkpoint.flow_id.encode("utf-8")
+    body = b"".join([
+        CHECKPOINT_MAGIC,
+        bytes((CHECKPOINT_VERSION,)),
+        struct.pack(">H", len(flow)),
+        flow,
+        struct.pack(">Id", checkpoint.epoch, checkpoint.taken_at),
+        struct.pack(">I", len(checkpoint.frame)),
+        checkpoint.frame,
+    ])
+    return body + struct.pack(">I", zlib.crc32(body))
+
+
+def decode_checkpoint(blob: bytes) -> EmitterCheckpoint:
+    """Parse checkpoint bytes; any malformation raises WireFormatError."""
+    if len(blob) < 25:
+        raise WireFormatError(f"checkpoint too short: {len(blob)} bytes")
+    (stated,) = struct.unpack(">I", blob[-4:])
+    if stated != zlib.crc32(blob[:-4]):
+        raise WireFormatError("checkpoint checksum mismatch")
+    if blob[:2] != CHECKPOINT_MAGIC:
+        raise WireFormatError(f"bad checkpoint magic {blob[:2]!r}")
+    if blob[2] != CHECKPOINT_VERSION:
+        raise WireFormatError(f"unsupported checkpoint version {blob[2]}")
+    (flow_len,) = struct.unpack(">H", blob[3:5])
+    rest = blob[5:-4]
+    if len(rest) < flow_len + 16:
+        raise WireFormatError("checkpoint truncated inside flow id")
+    try:
+        flow_id = rest[:flow_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"undecodable flow id: {exc}") from exc
+    epoch, taken_at = struct.unpack(">Id", rest[flow_len:flow_len + 12])
+    (frame_len,) = struct.unpack(
+        ">I", rest[flow_len + 12:flow_len + 16])
+    frame = rest[flow_len + 16:]
+    if len(frame) != frame_len:
+        raise WireFormatError(
+            f"checkpoint frame is {len(frame)} bytes, stated {frame_len}")
+    return EmitterCheckpoint(flow_id=flow_id, epoch=epoch,
+                             taken_at=taken_at, frame=frame)
+
+
+class CheckpointStore:
+    """Latest-wins stable storage for one emitter's checkpoints.
+
+    Models the file on the middlebox's disk: it survives
+    ``crash_restart()`` (which only wipes *volatile* state) and hands
+    back exactly the bytes last written -- or whatever a chaos test
+    poked into :attr:`blob` to model torn writes and bit rot.
+    """
+
+    def __init__(self) -> None:
+        self.blob: bytes | None = None
+        self.writes = 0
+        self.loads = 0
+
+    def save(self, blob: bytes) -> None:
+        self.blob = blob
+        self.writes += 1
+
+    def load(self) -> bytes | None:
+        if self.blob is not None:
+            self.loads += 1
+        return self.blob
+
+    def clear(self) -> None:
+        self.blob = None
+
+    def __repr__(self) -> str:
+        size = len(self.blob) if self.blob is not None else 0
+        return f"CheckpointStore({self.writes} writes, latest {size} B)"

@@ -1,11 +1,14 @@
-"""The control-message wire format (reset/config) and its checksum."""
+"""The control-message wire format (reset/config/resume), its checksum."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import WireFormatError
 from repro.sidecar.protocol import (
     ConfigMessage,
     ResetMessage,
+    ResumeMessage,
     decode_control,
     encode_control,
 )
@@ -34,6 +37,72 @@ class TestRoundTrip:
     def test_unicode_flow_id(self):
         message = ResetMessage(flow_id="flöw-0", epoch=1)
         assert decode_control(encode_control(message)).flow_id == "flöw-0"
+
+    def test_resume(self):
+        message = ResumeMessage(flow_id="flow0", epoch=2, count=1234)
+        assert decode_control(encode_control(message)) == message
+
+
+# Strategies over every control-message shape, for the property tests.
+_flow_ids = st.text(max_size=24)
+_u32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
+_control_messages = st.one_of(
+    st.builds(ResetMessage, flow_id=_flow_ids, epoch=_u32),
+    st.builds(ResumeMessage, flow_id=_flow_ids, epoch=_u32, count=_u32),
+    st.builds(ConfigMessage, flow_id=_flow_ids,
+              every_n=st.none() | st.integers(min_value=0,
+                                              max_value=0xFFFFFFFE),
+              interval_s=st.none() | st.floats(min_value=0.0, max_value=60.0,
+                                               allow_nan=False),
+              threshold=st.none() | st.integers(min_value=0,
+                                                max_value=0xFFFFFFFE)))
+
+
+class TestProperties:
+    @given(message=_control_messages)
+    @settings(max_examples=150)
+    def test_every_message_round_trips(self, message):
+        decoded = decode_control(encode_control(message))
+        assert type(decoded) is type(message)
+        assert decoded.flow_id == message.flow_id
+        if isinstance(message, ConfigMessage):
+            assert decoded.every_n == message.every_n
+            assert decoded.threshold == message.threshold
+            if message.interval_s is None:
+                assert decoded.interval_s is None
+            else:
+                assert decoded.interval_s == pytest.approx(
+                    message.interval_s, abs=1e-4)
+        else:
+            assert decoded == message
+
+    @given(message=_control_messages,
+           cut=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=150)
+    def test_any_truncation_raises(self, message, cut):
+        frame = encode_control(message)
+        with pytest.raises(WireFormatError):
+            decode_control(frame[:cut % len(frame)])
+
+    @given(message=_control_messages,
+           position=st.integers(min_value=0, max_value=10_000),
+           mask=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=150)
+    def test_any_bit_flip_raises(self, message, position, mask):
+        frame = bytearray(encode_control(message))
+        frame[position % len(frame)] ^= mask
+        with pytest.raises(WireFormatError):
+            decode_control(bytes(frame))
+
+    @given(blob=st.binary(min_size=0, max_size=120))
+    @settings(max_examples=150)
+    def test_arbitrary_bytes_never_crash(self, blob):
+        try:
+            decoded = decode_control(blob)
+        except WireFormatError:
+            return
+        assert isinstance(decoded,
+                          (ResetMessage, ConfigMessage, ResumeMessage))
 
 
 class TestMalformed:

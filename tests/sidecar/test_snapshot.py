@@ -1,0 +1,190 @@
+"""Checkpoint framing, the store, and post-resume gap reconciliation.
+
+A checkpoint is the emitter's accumulator on stable storage: whatever
+bytes come back at restore time must either reproduce the accumulator
+exactly or raise WireFormatError -- a torn write or bit-rotted file
+cold-starts the emitter, never restores garbage into the session.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.quack.power_sum import PowerSumQuack
+from repro.sidecar.consumer import QuackConsumer
+from repro.sidecar.snapshot import (
+    CheckpointStore,
+    EmitterCheckpoint,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+
+
+def make_checkpoint(flow_id: str = "flow0", epoch: int = 3,
+                    taken_at: float = 1.25,
+                    values: tuple = (11, 22, 33)) -> EmitterCheckpoint:
+    from repro.quack import wire
+
+    quack = PowerSumQuack(threshold=4)
+    quack.insert_many(values)
+    frame = wire.encode(quack, include_count=True, include_checksum=True)
+    return EmitterCheckpoint(flow_id=flow_id, epoch=epoch,
+                             taken_at=taken_at, frame=frame)
+
+
+class TestRoundTrip:
+    def test_checkpoint_round_trips(self):
+        checkpoint = make_checkpoint()
+        decoded = decode_checkpoint(encode_checkpoint(checkpoint))
+        assert decoded == checkpoint
+
+    def test_restored_accumulator_matches(self):
+        checkpoint = make_checkpoint(values=(7, 8, 9, 10))
+        restored = decode_checkpoint(encode_checkpoint(checkpoint)).quack()
+        assert restored.count == 4
+        original = PowerSumQuack(threshold=4)
+        original.insert_many((7, 8, 9, 10))
+        assert restored.power_sums == original.power_sums
+
+    def test_unicode_flow_id(self):
+        checkpoint = make_checkpoint(flow_id="flöw-0")
+        assert decode_checkpoint(
+            encode_checkpoint(checkpoint)).flow_id == "flöw-0"
+
+    @given(flow_id=st.text(max_size=20),
+           epoch=st.integers(min_value=0, max_value=2 ** 32 - 1),
+           taken_at=st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+           values=st.lists(st.integers(min_value=0, max_value=2 ** 32 - 1),
+                           max_size=10))
+    @settings(max_examples=100)
+    def test_any_checkpoint_round_trips(self, flow_id, epoch, taken_at,
+                                        values):
+        from repro.quack import wire
+
+        quack = PowerSumQuack(threshold=4)
+        quack.insert_many(values)
+        frame = wire.encode(quack, include_count=True, include_checksum=True)
+        checkpoint = EmitterCheckpoint(flow_id=flow_id, epoch=epoch,
+                                       taken_at=taken_at, frame=frame)
+        decoded = decode_checkpoint(encode_checkpoint(checkpoint))
+        assert decoded == checkpoint
+        assert decoded.quack().count == len(values) % (1 << 16)
+
+
+class TestMalformed:
+    def test_every_truncation_fails(self):
+        blob = encode_checkpoint(make_checkpoint())
+        for cut in range(len(blob)):
+            with pytest.raises(WireFormatError):
+                decode_checkpoint(blob[:cut])
+
+    def test_every_single_bit_flip_is_caught(self):
+        blob = encode_checkpoint(make_checkpoint())
+        for position in range(len(blob) * 8):
+            mangled = bytearray(blob)
+            mangled[position // 8] ^= 1 << (position % 8)
+            with pytest.raises(WireFormatError):
+                decode_checkpoint(bytes(mangled))
+
+    def test_corrupt_inner_frame_fails_at_quack(self):
+        checkpoint = make_checkpoint()
+        bad = EmitterCheckpoint(
+            flow_id=checkpoint.flow_id, epoch=checkpoint.epoch,
+            taken_at=checkpoint.taken_at,
+            frame=checkpoint.frame[:-1] + b"\x00")
+        # The outer framing is re-CRC'd over the bad frame, so the outer
+        # parse succeeds and the inner wire decode catches it.
+        decoded = decode_checkpoint(encode_checkpoint(bad))
+        with pytest.raises(WireFormatError):
+            decoded.quack()
+
+    @given(blob=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=150)
+    def test_arbitrary_bytes_never_crash(self, blob):
+        try:
+            decoded = decode_checkpoint(blob)
+        except WireFormatError:
+            return
+        assert isinstance(decoded, EmitterCheckpoint)
+
+
+class TestCheckpointStore:
+    def test_latest_wins(self):
+        store = CheckpointStore()
+        assert store.load() is None
+        store.save(b"one")
+        store.save(b"two")
+        assert store.load() == b"two"
+        assert store.writes == 2
+        assert store.loads == 1
+
+    def test_clear_models_a_lost_disk(self):
+        store = CheckpointStore()
+        store.save(b"data")
+        store.clear()
+        assert store.load() is None
+
+
+class TestGapReconciliation:
+    """The consumer's post-resume reconciliation of the checkpoint gap."""
+
+    def run_confirmed(self, consumer: QuackConsumer,
+                      emitter: PowerSumQuack, identifiers, now: float):
+        for identifier in identifiers:
+            consumer.record_send(identifier, meta=identifier, now=now)
+            emitter.insert(identifier)
+        return consumer.on_quack(emitter.copy(), now)
+
+    def test_gap_identifiers_retire_without_loss_signals(self):
+        consumer = QuackConsumer(threshold=8)
+        emitter = PowerSumQuack(threshold=8)
+        # Checkpoint taken here: the restored accumulator will hold 1..4.
+        feedback = self.run_confirmed(consumer, emitter, (1, 2, 3, 4), 0.0)
+        assert feedback.received == [1, 2, 3, 4]
+        restored = emitter.copy()
+        # Gap: 5 and 6 observed and *confirmed* after the checkpoint.
+        feedback = self.run_confirmed(consumer, emitter, (5, 6), 0.1)
+        assert feedback.received == [5, 6]
+        # Crash + restore: the emitter continues from the stale state.
+        emitter = restored
+        consumer.arm_reconciliation()
+        feedback = self.run_confirmed(consumer, emitter, (7, 8), 0.2)
+        assert feedback.ok
+        assert feedback.reconciled == 2  # 5 and 6 retired from the sums
+        assert feedback.lost == []
+        assert feedback.received == [7, 8]
+        assert consumer.stats.gap_reconciled == 2
+        assert consumer.stats.declared_lost == 0
+        # States agree exactly again: the next decode is clean and empty.
+        feedback = self.run_confirmed(consumer, emitter, (9,), 0.3)
+        assert feedback.ok and feedback.reconciled == 0
+        assert feedback.received == [9]
+
+    def test_reconciliation_is_one_shot(self):
+        consumer = QuackConsumer(threshold=8)
+        emitter = PowerSumQuack(threshold=8)
+        consumer.arm_reconciliation()
+        feedback = self.run_confirmed(consumer, emitter, (1, 2), 0.0)
+        assert feedback.ok and feedback.reconciled == 0
+        assert not consumer._reconcile_pending
+
+    def test_reset_clears_reconciliation_state(self):
+        consumer = QuackConsumer(threshold=8)
+        emitter = PowerSumQuack(threshold=8)
+        self.run_confirmed(consumer, emitter, (1, 2), 0.0)
+        consumer.arm_reconciliation()
+        consumer.reset()
+        assert not consumer._reconcile_pending
+        assert not consumer._recent_confirmed
+
+    def test_without_arming_a_gap_is_still_inconsistent(self):
+        consumer = QuackConsumer(threshold=8)
+        emitter = PowerSumQuack(threshold=8)
+        self.run_confirmed(consumer, emitter, (1, 2, 3, 4), 0.0)
+        restored = emitter.copy()
+        self.run_confirmed(consumer, emitter, (5, 6), 0.1)
+        emitter = restored  # crash without a resume handshake
+        feedback = self.run_confirmed(consumer, emitter, (7,), 0.2)
+        assert not feedback.ok  # the defense sees forged-looking evidence
