@@ -300,11 +300,59 @@ def collect_protocols(quick: bool = False) -> dict[str, Metric]:
     }
 
 
+def collect_negotiate(quick: bool = False) -> dict[str, Metric]:
+    """Negotiation overhead: what the capability handshake costs.
+
+    The versioning milestone's promise is that negotiation is cheap --
+    one offer round trip, a few hundred bytes, assistance starting
+    within the first RTTs of the transfer -- and that a mid-connection
+    VERSION-SWITCH adds nothing.  These are virtual-time outcomes from
+    the deterministic chaos harness, machine-independent like
+    :func:`collect_protocols`; ``quick`` changes nothing because the
+    plans are fixed-size.  Any movement between snapshots of the same
+    tree is a behavior change.
+    """
+    del quick  # the plans are fixed-size and deterministic
+    from repro.chaos.harness import run_plan
+
+    skew = run_plan("version-skew", seed=1)
+    switch = run_plan("version-switch", seed=1)
+
+    def sim_metric(name: str, value: float, unit: str,
+                   direction: str) -> Metric:
+        return Metric(name=name, mean=float(value), stdev=0.0, n=1,
+                      unit=unit, direction=direction)
+
+    return {
+        "handshake_bytes": sim_metric(
+            "handshake_bytes", skew.handshake_bytes, "bytes", "lower"),
+        "handshake_rtts": sim_metric(
+            "handshake_rtts", skew.server_counters["hellos_sent"],
+            "round-trips", "lower"),
+        "assistance_start_s": sim_metric(
+            "assistance_start_s", skew.assistance_started_s or 0.0,
+            "s", "lower"),
+        "negotiated_version": sim_metric(
+            "negotiated_version", skew.negotiated_version or 0,
+            "version", "info"),
+        "switch_completion_s": sim_metric(
+            "switch_completion_s", switch.duration_s, "s", "lower"),
+        "switch_stale_frames": sim_metric(
+            "switch_stale_frames",
+            switch.server_counters["stale_version_frames"], "frames",
+            "lower"),
+        "switch_retransmissions": sim_metric(
+            "switch_retransmissions", switch.retransmitted_packets,
+            "packets", "info"),
+    }
+
+
 #: Area name -> collector.  ``record`` runs these.
 COLLECTORS: dict[str, Callable[[bool], dict[str, Metric]]] = {
     "quack": collect_quack,
     "obs": collect_obs,
     "protocols": collect_protocols,
+    "negotiate": collect_negotiate,
 }
 
 

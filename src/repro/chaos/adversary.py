@@ -44,7 +44,7 @@ from repro.netsim.faults import FaultDecision, FaultInjector, Window, in_window
 from repro.netsim.packet import Packet, PacketKind
 from repro.quack import wire
 from repro.quack.power_sum import PowerSumQuack
-from repro.sidecar.protocol import QuackMessage
+from repro.sidecar.protocol import HelloMessage, QuackMessage
 
 #: Default activity window: let the session establish, then lie forever.
 DEFAULT_WINDOWS: tuple[Window, ...] = ((0.25, 3600.0),)
@@ -219,3 +219,83 @@ class EquivocationAdversary(FaultInjector):
         forged = dataclasses.replace(message, frame=frame)
         return FaultDecision(replacement=dataclasses.replace(
             packet, payload=forged, size_bytes=overhead + len(frame)))
+
+
+class HelloStripAdversary(FaultInjector):
+    """Strip capability offers off the wire: the classic downgrade attack.
+
+    Secure Middlebox-Assisted QUIC's threat model: an on-path attacker
+    who does not want the endpoints to enjoy (versioned, defended)
+    assistance simply deletes the negotiation traffic and hopes they
+    fall back silently.  Here the fallback is never silent -- the
+    initiator retries its offer and, past the loss allowance, ledgers
+    every further unanswered HELLO as a DOWNGRADE signal until the
+    channel is quarantined.  The transport was running end-to-end the
+    whole time (assistance never starts before the handshake), so the
+    attacker gains nothing and the attack is on the record.
+
+    Windows default to starting at 0.0: negotiation happens before
+    anything else, so an adversary that sleeps through it has already
+    lost.
+    """
+
+    adversarial = True
+
+    def __init__(self,
+                 windows: Sequence[Window] = ((0.0, 3600.0),)) -> None:
+        super().__init__(kinds={PacketKind.CONTROL},
+                         name="HelloStripAdversary")
+        self.windows = tuple(windows)
+        self.hellos_stripped = 0
+
+    def _decide(self, packet: Packet, now: float) -> FaultDecision:
+        if not in_window(self.windows, now):
+            return FaultDecision.none()
+        if not isinstance(packet.payload, HelloMessage):
+            return FaultDecision.none()
+        self.hellos_stripped += 1
+        return FaultDecision(drop=True)
+
+
+class HelloRewriteAdversary(FaultInjector):
+    """Rewrite capability offers in flight to pin the session at v1.
+
+    The subtler downgrade: instead of deleting the offer, clamp its
+    version range (and optionally strip feature bits) so the responder
+    honestly negotiates the weakest protocol.  The transcript hash is
+    the countermeasure -- the responder hashes the offer *as received*,
+    the initiator compares against the offer *as sent*, and the rewrite
+    is detected on the first HELLO-ACK, ledgered as DOWNGRADE, and
+    quarantined after enough repeats.
+    """
+
+    adversarial = True
+
+    def __init__(self, pin_version: int = 1, strip_features: bool = True,
+                 windows: Sequence[Window] = ((0.0, 3600.0),)) -> None:
+        super().__init__(kinds={PacketKind.CONTROL},
+                         name="HelloRewriteAdversary")
+        if pin_version < 1:
+            raise ValueError(f"pin_version must be >= 1, got {pin_version}")
+        self.pin_version = pin_version
+        self.strip_features = strip_features
+        self.windows = tuple(windows)
+        self.hellos_rewritten = 0
+
+    def _decide(self, packet: Packet, now: float) -> FaultDecision:
+        if not in_window(self.windows, now):
+            return FaultDecision.none()
+        hello = packet.payload
+        if not isinstance(hello, HelloMessage) \
+                or hello.max_version <= self.pin_version:
+            return FaultDecision.none()
+        self.hellos_rewritten += 1
+        rewritten = dataclasses.replace(
+            hello,
+            min_version=min(hello.min_version, self.pin_version),
+            max_version=self.pin_version,
+            features=0 if self.strip_features else hello.features)
+        # Same layout, same length: the rewrite is size-preserving, as a
+        # real on-path rewriter (who must fix only the CRC) would be.
+        return FaultDecision(
+            replacement=dataclasses.replace(packet, payload=rewritten))

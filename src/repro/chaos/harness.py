@@ -36,6 +36,8 @@ from typing import Callable, Mapping
 from repro.chaos.adversary import (
     EquivocationAdversary,
     ForgedPowerSumAdversary,
+    HelloRewriteAdversary,
+    HelloStripAdversary,
     LyingCountAdversary,
     ReplayAdversary,
 )
@@ -57,6 +59,7 @@ from repro.sidecar.agents import ProxyEmitterTap, ServerSidecar
 from repro.sidecar.defense import DefenseConfig
 from repro.sidecar.frequency import PacketCountFrequency
 from repro.sidecar.health import HealthConfig, HealthState, HealthTransition
+from repro.sidecar.negotiate import Capabilities, NegotiateConfig
 from repro.sidecar.snapshot import CheckpointStore
 from repro.transport.connection import ReceiverConnection, SenderConnection
 
@@ -90,6 +93,20 @@ class ChaosSetup:
     adversarial: bool = False
     defense: DefenseConfig | None = None
     checkpoint_interval_s: float | None = None
+    #: Arm the HELLO/HELLO-ACK capability handshake on both agents.
+    #: ``consumer_capabilities``/``emitter_capabilities`` override the
+    #: defaults per side (cross-version matrix, version skew).
+    negotiate: bool = False
+    consumer_capabilities: Capabilities | None = None
+    emitter_capabilities: Capabilities | None = None
+    #: Schedule a mid-connection VERSION-SWITCH to ``version_switch_to``
+    #: at this simulated time (negotiation must be armed).
+    version_switch_at: float | None = None
+    version_switch_to: int = 2
+    #: Extra invariants the run must satisfy.
+    expect_negotiated_version: int | None = None
+    expect_wire_version: int | None = None
+    expect_no_resets: bool = False
 
     def injectors(self) -> list[FaultInjector]:
         unique: list[FaultInjector] = []
@@ -128,6 +145,23 @@ class ChaosResult:
     quarantined_at: float | None = None
     last_loss_applied_at: float | None = None
     baseline_duration_s: float | None = None
+    negotiated: bool = False
+    negotiated_version: int | None = None
+    handshake_bytes: int = 0
+    assistance_started_s: float | None = None
+    retransmitted_packets: int = 0
+    #: Serialization time the handshake (and switch) traffic stole from
+    #: DATA on the shared forward link, plus scheduling epsilon; the
+    #: baseline comparison allows exactly this much.
+    baseline_slack_s: float = 0.0
+    expected_negotiated_version: int | None = None
+    expected_wire_version: int | None = None
+    expect_no_resets: bool = False
+    #: Real datagram drops across every link (queue overflow, channel
+    #: loss, injected faults) -- the ceiling "zero *spurious*
+    #: retransmits" is judged against: every retransmission must be
+    #: backed by an actual drop, none caused by protocol state churn.
+    link_drops: int = 0
 
     @property
     def goodput_bps(self) -> float:
@@ -176,11 +210,41 @@ class ChaosResult:
                     f"{self.last_loss_applied_at:.3f} s, after the "
                     f"quarantine verdict at {self.quarantined_at:.3f} s")
         if (self.completed and self.baseline_duration_s is not None
-                and self.duration_s > self.baseline_duration_s + 1e-9):
+                and self.duration_s
+                > self.baseline_duration_s + self.baseline_slack_s + 1e-9):
             problems.append(
                 f"goodput below the unassisted baseline: completed in "
                 f"{self.duration_s:.3f} s vs {self.baseline_duration_s:.3f} s "
-                f"unassisted")
+                f"unassisted (+{self.baseline_slack_s * 1e3:.2f} ms "
+                f"handshake slack)")
+        if (self.expected_negotiated_version is not None
+                and self.negotiated_version != self.expected_negotiated_version):
+            problems.append(
+                f"negotiated version {self.negotiated_version}, expected "
+                f"{self.expected_negotiated_version}")
+        if self.expected_wire_version is not None:
+            for side in ("server_counters", "emitter_counters"):
+                got = getattr(self, side).get("wire_version")
+                if got != self.expected_wire_version:
+                    problems.append(
+                        f"{side.split('_')[0]} wire version {got}, expected "
+                        f"{self.expected_wire_version} after the switch")
+        if self.expect_no_resets:
+            resets = self.server_counters.get("resets_initiated", 0)
+            if resets:
+                problems.append(
+                    f"{resets} resets initiated in a run promised reset-free")
+            # Congestion losses are the transport's business; what the
+            # version switch must never do is trigger retransmissions
+            # of packets that were actually delivered (a mis-decode or
+            # state loss would).  Every retransmission therefore needs
+            # a real drop behind it.
+            if self.retransmitted_packets > self.link_drops:
+                problems.append(
+                    f"{self.retransmitted_packets - self.link_drops} "
+                    f"spurious retransmissions: {self.retransmitted_packets} "
+                    f"retransmitted vs {self.link_drops} real datagram "
+                    f"drops on the path")
         return problems
 
     @property
@@ -288,18 +352,33 @@ def run_chaos_transfer(setup: ChaosSetup, *,
                               cc_from_acks=not divide_cc)
     checkpoints = CheckpointStore() \
         if setup.checkpoint_interval_s is not None else None
+    consumer_negotiate = emitter_negotiate = None
+    if setup.negotiate:
+        consumer_negotiate = NegotiateConfig(
+            capabilities=setup.consumer_capabilities or Capabilities())
+        emitter_negotiate = NegotiateConfig(
+            capabilities=setup.emitter_capabilities or Capabilities())
     tap = ProxyEmitterTap(sim, proxy, server="server", client="client",
                           flow_id="flow0",
                           policy=PacketCountFrequency(quack_every),
                           threshold=threshold,
                           checkpoints=checkpoints,
                           checkpoint_interval_s=setup.checkpoint_interval_s
-                          if setup.checkpoint_interval_s is not None else 0.05)
+                          if setup.checkpoint_interval_s is not None else 0.05,
+                          negotiate=emitter_negotiate)
     sidecar = ServerSidecar(sim, sender, threshold=threshold, grace=2,
                             apply_losses=True, congestive_loss=False,
                             reset_after_failures=reset_after_failures,
                             settle_time=settle_time, health=health,
-                            defense=defense)
+                            defense=defense,
+                            negotiate=consumer_negotiate,
+                            peer="proxy" if setup.negotiate else None)
+    if setup.version_switch_at is not None:
+        if not setup.negotiate:
+            raise ValueError(
+                "version_switch_at needs negotiation armed on the setup")
+        sim.schedule(setup.version_switch_at,
+                     sidecar.request_version_switch, setup.version_switch_to)
     if setup.crashes is not None:
         setup.crashes.arm(sim, tap)
     sender.start()
@@ -318,18 +397,32 @@ def run_chaos_transfer(setup: ChaosSetup, *,
 
     injectors = setup.injectors()
     injector_stats = {injector.name: injector.stats for injector in injectors}
+    link_drops = sum(
+        link.stats.dropped_queue + link.stats.dropped_loss
+        + link.stats.dropped_fault
+        for link in topology.links_up + topology.links_down)
     dropped = sum(i.stats.dropped for i in injectors)
     duplicated = sum(i.stats.duplicated for i in injectors)
     # An adversary's replacements are checksum-valid forgeries, not
     # corruption: they must never satisfy (nor trip) the wire-error
-    # classification invariant, so they are tallied separately.
+    # classification invariant, so they are tallied separately.  An
+    # adversary's *drops* are tampering too (targeted suppression --
+    # e.g. stripping capability offers), unlike a fault injector's
+    # indiscriminate loss.
     corrupted = sum(i.stats.corrupted for i in injectors
                     if not getattr(i, "adversarial", False))
-    tampered = sum(i.stats.corrupted for i in injectors
+    tampered = sum(i.stats.corrupted + i.stats.dropped for i in injectors
                    if getattr(i, "adversarial", False))
     quarantined_at = next(
         (hop.time for hop in transitions
          if hop.new is HealthState.QUARANTINED), None)
+    # Negotiation (and switch) control traffic shares the forward link
+    # with DATA; its serialization time is time the baseline never
+    # spent, so the goodput floor is allowed exactly that much slack.
+    baseline_slack = 0.0
+    if setup.negotiate:
+        baseline_slack = (8 * (sidecar.handshake_bytes + 256)
+                          / bandwidth_bps) + 2e-3
     return ChaosResult(
         plan=setup.name,
         seed=seed,
@@ -357,6 +450,16 @@ def run_chaos_transfer(setup: ChaosSetup, *,
         quarantined_at=quarantined_at,
         last_loss_applied_at=sidecar.last_loss_applied_at,
         baseline_duration_s=baseline_duration,
+        negotiated=setup.negotiate,
+        negotiated_version=sidecar.negotiated_version,
+        handshake_bytes=sidecar.handshake_bytes,
+        assistance_started_s=sidecar.assistance_started_at,
+        retransmitted_packets=sender.stats.retransmitted_packets,
+        baseline_slack_s=baseline_slack,
+        expected_negotiated_version=setup.expect_negotiated_version,
+        expected_wire_version=setup.expect_wire_version,
+        expect_no_resets=setup.expect_no_resets,
+        link_drops=link_drops,
     )
 
 
@@ -444,6 +547,56 @@ def _replay(seed: int) -> ChaosSetup:
                       adversarial=True)
 
 
+def _negotiate_down(seed: int) -> ChaosSetup:
+    # The cross-version matrix's hard cell: a v2 consumer offering 1..2
+    # meets an emitter that only speaks v1; they must agree on v1 and
+    # the transfer must still complete, assisted.
+    return ChaosSetup(name="negotiate-down",
+                      negotiate=True,
+                      emitter_capabilities=Capabilities(max_version=1),
+                      expect_negotiated_version=1,
+                      expect_wire_version=1,
+                      defense=DefenseConfig())
+
+
+def _version_skew(seed: int) -> ChaosSetup:
+    # An emitter one version *ahead* of this build: negotiation clamps
+    # to the highest version both sides actually speak.
+    return ChaosSetup(name="version-skew",
+                      negotiate=True,
+                      emitter_capabilities=Capabilities(max_version=3),
+                      expect_negotiated_version=2,
+                      defense=DefenseConfig())
+
+
+def _version_switch(seed: int) -> ChaosSetup:
+    # Mid-connection upgrade: negotiate a v2 ceiling, run on v1, flip to
+    # v2 at 0.6 s -- with zero resets and zero spurious retransmits.
+    return ChaosSetup(name="version-switch",
+                      negotiate=True,
+                      version_switch_at=0.6,
+                      version_switch_to=2,
+                      expect_negotiated_version=2,
+                      expect_wire_version=2,
+                      expect_no_resets=True,
+                      defense=DefenseConfig())
+
+
+def _downgrade_strip(seed: int) -> ChaosSetup:
+    # HELLOs ride the server->proxy direction (toward the client).
+    return ChaosSetup(name="downgrade-strip",
+                      negotiate=True,
+                      faults_toward_client=HelloStripAdversary(),
+                      adversarial=True)
+
+
+def _downgrade_rewrite(seed: int) -> ChaosSetup:
+    return ChaosSetup(name="downgrade-rewrite",
+                      negotiate=True,
+                      faults_toward_client=HelloRewriteAdversary(),
+                      adversarial=True)
+
+
 def _equivocation(seed: int) -> ChaosSetup:
     # Threshold must match the harness's emitter so the forgery is
     # structurally perfect; both directions carry the same instance (it
@@ -492,6 +645,23 @@ PLANS: Mapping[str, ChaosPlan] = {
     "equivocation": ChaosPlan(
         _equivocation,
         "adversary answers with another session's accumulator",
+        adversarial=True),
+    "negotiate-down": ChaosPlan(
+        _negotiate_down,
+        "v2 consumer meets v1-only emitter; negotiates down, completes"),
+    "version-skew": ChaosPlan(
+        _version_skew,
+        "emitter claims a future v3; session clamps to mutual v2"),
+    "version-switch": ChaosPlan(
+        _version_switch,
+        "mid-connection v1->v2 switch: no reset, no spurious retransmit"),
+    "downgrade-strip": ChaosPlan(
+        _downgrade_strip,
+        "adversary strips capability offers; quarantined, goodput holds",
+        adversarial=True),
+    "downgrade-rewrite": ChaosPlan(
+        _downgrade_rewrite,
+        "adversary rewrites offers to pin v1; transcript hash catches it",
         adversarial=True),
 }
 
@@ -545,6 +715,13 @@ def result_to_dict(result: ChaosResult) -> dict:
         "goodput_bps": result.goodput_bps,
         "baseline_duration_s": result.baseline_duration_s,
         "baseline_goodput_bps": result.baseline_goodput_bps,
+        "negotiated": result.negotiated,
+        "negotiated_version": result.negotiated_version,
+        "handshake_bytes": result.handshake_bytes,
+        "assistance_started_s": result.assistance_started_s,
+        "retransmitted_packets": result.retransmitted_packets,
+        "link_drops": result.link_drops,
+        "baseline_slack_s": result.baseline_slack_s,
         "invariant_violations": result.violations(),
         "ok": result.ok,
     }
@@ -580,6 +757,14 @@ def format_result(result: ChaosResult) -> str:
         f"emitter counters: "
         + ", ".join(f"{k}={v}" for k, v in result.emitter_counters.items()),
     ]
+    if result.negotiated:
+        version = result.negotiated_version \
+            if result.negotiated_version is not None else "never agreed"
+        started = f"{result.assistance_started_s:.3f} s" \
+            if result.assistance_started_s is not None else "never"
+        lines.append(
+            f"negotiation: version {version}, {result.handshake_bytes} "
+            f"handshake bytes, assistance from {started}")
     if result.baseline_duration_s is not None:
         lines.append(
             f"goodput: {result.goodput_bps / 1e6:.2f} Mbps vs "

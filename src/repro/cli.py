@@ -22,7 +22,10 @@ Subcommands:
   threshold-based regression verdict (exit status 1 on regression);
 * ``sweep``         -- expand a scenario-matrix spec into seeded cells,
   shard them across worker processes, and write one aggregate artifact
-  (exit status 1 if any cell exhausted its retries).
+  (exit status 1 if any cell exhausted its retries);
+* ``vectors``       -- regenerate or validate the checked-in wire-format
+  conformance vectors (``tests/vectors/*.json``; exit status 1 when a
+  vector is stale or fails against the implementation).
 
 Examples::
 
@@ -42,6 +45,8 @@ Examples::
         --workers 4 --output sweep.json
     python -m repro sweep examples/sweeps/retx_loss_delay.json \\
         --resume sweep.json --output sweep.json
+    python -m repro vectors generate
+    python -m repro vectors check
 """
 
 from __future__ import annotations
@@ -373,6 +378,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if aggregate.ok else 1
 
 
+# -- vectors --------------------------------------------------------------------
+
+def cmd_vectors(args: argparse.Namespace) -> int:
+    from repro import vectors
+
+    if args.vectors_command == "generate":
+        for path in vectors.generate(args.dir):
+            print(f"wrote {path}")
+        return 0
+    problems = vectors.check(args.dir)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"error: {len(problems)} conformance-vector problem(s)",
+              file=sys.stderr)
+        return 1
+    counts = {name: len(suite)
+              for name, suite in vectors.build_vectors().items()}
+    print(f"{sum(counts.values())} vectors pass "
+          + "(" + ", ".join(f"{name}: {count}"
+                            for name, count in sorted(counts.items())) + ")")
+    return 0
+
+
 # -- parser -----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,6 +549,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also flatten the aggregate into a "
                             "BENCH_sweep_<name>.json snapshot in DIR")
     sweep.set_defaults(func=cmd_sweep)
+
+    vectors = sub.add_parser(
+        "vectors", help="regenerate/validate wire-format conformance "
+                        "vectors")
+    vectors_sub = vectors.add_subparsers(dest="vectors_command",
+                                         required=True)
+    vectors_generate = vectors_sub.add_parser(
+        "generate", help="derive the suites from the implementation and "
+                         "(re)write tests/vectors/*.json")
+    vectors_generate.add_argument("--dir", default="tests/vectors",
+                                  help="vector directory")
+    vectors_generate.set_defaults(func=cmd_vectors)
+    vectors_check = vectors_sub.add_parser(
+        "check", help="fail if any checked-in vector is stale or the "
+                      "implementation no longer conforms to it")
+    vectors_check.add_argument("--dir", default="tests/vectors",
+                               help="vector directory")
+    vectors_check.set_defaults(func=cmd_vectors)
 
     headroom = sub.add_parser(
         "headroom", help="threshold survival vs loss burstiness (E11)")

@@ -9,13 +9,22 @@ module provides that frame:
 offset    size   field
 ========  =====  ==========================================
 0         2      magic ``b"qK"``
-2         1      version (currently 1)
+2         1      version (1 or 2)
 3         1      scheme (:class:`~repro.quack.base.QuackScheme`)
 4         1      flags (bit 0: a count field is present;
                  bit 1: a trailing CRC-32 protects the frame)
-5..       --     scheme-specific body
+5         1      negotiated-feature bits (version >= 2 only)
+5/6..     --     scheme-specific body
 -4..      4      CRC-32 over everything before it (flags bit 1 only)
 ========  =====  ==========================================
+
+Version 2 differs from version 1 only by the negotiated-feature header
+byte: the feature bits agreed during the capability handshake
+(:mod:`repro.sidecar.negotiate`) ride every frame, so a peer can verify
+each snapshot was produced under the negotiated configuration.  Both
+versions are always decodable; which version an *encoder* uses is the
+negotiation layer's business.  Unknown version bytes are rejected with
+the repo-wide :func:`~repro.errors.unsupported_version` message.
 
 The checksum exists for the *sidecar channel*: sidecar datagrams cross
 real networks and get bit-flipped, and without a checksum a flipped
@@ -41,7 +50,7 @@ from __future__ import annotations
 import struct
 import zlib
 
-from repro.errors import WireFormatError
+from repro.errors import WireFormatError, unsupported_version
 from repro.obs import PROFILER
 from repro.quack.base import Quack, QuackScheme
 from repro.quack.power_sum import PowerSumQuack
@@ -49,6 +58,9 @@ from repro.quack.strawman import EchoQuack, HashQuack
 
 MAGIC = b"qK"
 VERSION = 1
+#: Every version this build can encode and decode.
+VERSIONS = (1, 2)
+FORMAT_NAME = "quack frame"
 _FLAG_HAS_COUNT = 0x01
 _FLAG_HAS_CRC = 0x02
 CRC_BYTES = 4
@@ -59,27 +71,60 @@ def _bytes_for_bits(bits: int) -> int:
 
 
 def encode(quack: Quack, include_count: bool = True,
-           include_checksum: bool = False) -> bytes:
+           include_checksum: bool = False, version: int = VERSION,
+           features: int = 0) -> bytes:
     """Serialize any quACK into a self-describing frame.
 
     ``include_checksum`` appends a CRC-32 (and sets flags bit 1) so the
     deserializer can reject bit-flipped frames outright; the sidecar
-    protocol layer always asks for it.
+    protocol layer always asks for it.  ``version`` selects the frame
+    layout (v2 carries the negotiated ``features`` bits; v1 cannot).
     """
+    if version not in VERSIONS:
+        raise unsupported_version(FORMAT_NAME, version, VERSIONS)
+    if version < 2 and features:
+        raise WireFormatError(
+            f"{FORMAT_NAME}: feature bits {features:#04x} need version >= 2")
+    if not 0 <= features <= 0xFF:
+        raise WireFormatError(
+            f"{FORMAT_NAME}: feature bits {features:#x} exceed one byte")
     started = PROFILER.begin()
     if isinstance(quack, PowerSumQuack):
-        frame = _encode_power_sum(quack, include_count, include_checksum)
+        scheme, flags, body = _encode_power_sum(quack, include_count)
     elif isinstance(quack, EchoQuack):
-        frame = _encode_echo(quack, include_checksum)
+        scheme, flags, body = _encode_echo(quack)
     elif isinstance(quack, HashQuack):
-        frame = _encode_hash(quack, include_checksum)
+        scheme, flags, body = _encode_hash(quack)
     else:
         raise WireFormatError(f"cannot serialize {type(quack).__name__}")
+    if include_checksum:
+        flags |= _FLAG_HAS_CRC
+    head = [MAGIC, bytes((version, scheme, flags))]
+    if version >= 2:
+        head.append(bytes((features,)))
+    frame = b"".join(head) + body
     if include_checksum:
         frame += struct.pack(">I", zlib.crc32(frame))
     if started:
         PROFILER.end("quack.wire_encode", started)
     return frame
+
+
+def frame_version(frame: bytes) -> int:
+    """The version byte of a frame (no validation beyond the header)."""
+    if len(frame) < 3 or frame[:2] != MAGIC:
+        raise WireFormatError(f"bad magic {frame[:2]!r}")
+    return frame[2]
+
+
+def frame_features(frame: bytes) -> int:
+    """The negotiated-feature bits a frame carries (0 for version 1)."""
+    version = frame_version(frame)
+    if version < 2:
+        return 0
+    if len(frame) < 6:
+        raise WireFormatError(f"frame too short: {len(frame)} bytes")
+    return frame[5]
 
 
 def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
@@ -95,14 +140,17 @@ def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
     if frame[:2] != MAGIC:
         raise WireFormatError(f"bad magic {frame[:2]!r}")
     version, scheme_raw, flags = frame[2], frame[3], frame[4]
-    if version != VERSION:
-        raise WireFormatError(f"unsupported version {version}")
+    if version not in VERSIONS:
+        raise unsupported_version(FORMAT_NAME, version, VERSIONS)
+    body_at = 6 if version >= 2 else 5
+    if len(frame) < body_at:
+        raise WireFormatError(f"frame too short: {len(frame)} bytes")
     try:
         scheme = QuackScheme(scheme_raw)
     except ValueError as exc:
         raise WireFormatError(f"unknown scheme {scheme_raw}") from exc
     if flags & _FLAG_HAS_CRC:
-        if len(frame) < 5 + CRC_BYTES:
+        if len(frame) < body_at + CRC_BYTES:
             raise WireFormatError("frame too short to hold its checksum")
         (stated,) = struct.unpack(">I", frame[-CRC_BYTES:])
         computed = zlib.crc32(frame[:-CRC_BYTES])
@@ -112,7 +160,7 @@ def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
                 f"bytes hash to {computed:#010x} (corrupt frame)"
             )
         frame = frame[:-CRC_BYTES]
-    body = frame[5:]
+    body = frame[body_at:]
     has_count = bool(flags & _FLAG_HAS_COUNT)
     started = PROFILER.begin()
     try:
@@ -135,20 +183,18 @@ def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
 
 # -- power sum ----------------------------------------------------------------
 
-def _encode_power_sum(quack: PowerSumQuack, include_count: bool,
-                      include_checksum: bool = False) -> bytes:
-    flags = (_FLAG_HAS_COUNT if include_count else 0) \
-        | (_FLAG_HAS_CRC if include_checksum else 0)
-    parts = [MAGIC, bytes((VERSION, QuackScheme.POWER_SUM, flags))]
-    parts.append(struct.pack(">BHB", quack.bits, quack.threshold,
-                             quack.count_bits))
+def _encode_power_sum(quack: PowerSumQuack,
+                      include_count: bool) -> tuple[int, int, bytes]:
+    flags = _FLAG_HAS_COUNT if include_count else 0
+    parts = [struct.pack(">BHB", quack.bits, quack.threshold,
+                         quack.count_bits)]
     if include_count:
         parts.append(quack.count.to_bytes(_bytes_for_bits(quack.count_bits),
                                           "big"))
     width = _bytes_for_bits(quack.bits)
     for value in quack.power_sums:
         parts.append(value.to_bytes(width, "big"))
-    return b"".join(parts)
+    return QuackScheme.POWER_SUM, flags, b"".join(parts)
 
 
 def _decode_power_sum(body: bytes, has_count: bool,
@@ -192,14 +238,12 @@ def _decode_power_sum(body: bytes, has_count: bool,
 
 # -- echo -----------------------------------------------------------------------
 
-def _encode_echo(quack: EchoQuack, include_checksum: bool = False) -> bytes:
+def _encode_echo(quack: EchoQuack) -> tuple[int, int, bytes]:
     ids = sorted(quack.received.elements())
-    flags = _FLAG_HAS_COUNT | (_FLAG_HAS_CRC if include_checksum else 0)
-    parts = [MAGIC, bytes((VERSION, QuackScheme.ECHO, flags)),
-             struct.pack(">BI", quack.bits, len(ids))]
+    parts = [struct.pack(">BI", quack.bits, len(ids))]
     width = _bytes_for_bits(quack.bits)
     parts.extend(int(i).to_bytes(width, "big") for i in ids)
-    return b"".join(parts)
+    return QuackScheme.ECHO, _FLAG_HAS_COUNT, b"".join(parts)
 
 
 def _decode_echo(body: bytes) -> EchoQuack:
@@ -219,13 +263,13 @@ def _decode_echo(body: bytes) -> EchoQuack:
 
 # -- hash ------------------------------------------------------------------------
 
-def _encode_hash(quack: HashQuack, include_checksum: bool = False) -> bytes:
-    flags = _FLAG_HAS_COUNT | (_FLAG_HAS_CRC if include_checksum else 0)
-    parts = [MAGIC, bytes((VERSION, QuackScheme.HASH, flags)),
-             struct.pack(">BB", quack.bits, quack.count_bits),
-             quack.count.to_bytes(_bytes_for_bits(quack.count_bits), "big"),
-             quack.digest()]
-    return b"".join(parts)
+def _encode_hash(quack: HashQuack) -> tuple[int, int, bytes]:
+    body = b"".join([
+        struct.pack(">BB", quack.bits, quack.count_bits),
+        quack.count.to_bytes(_bytes_for_bits(quack.count_bits), "big"),
+        quack.digest(),
+    ])
+    return QuackScheme.HASH, _FLAG_HAS_COUNT, body
 
 
 def _decode_hash(body: bytes) -> HashQuack:

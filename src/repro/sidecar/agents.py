@@ -57,18 +57,28 @@ from repro.sidecar.defense import (
     DefenseConfig,
     PlausibilityValidator,
     QuarantineLedger,
+    SignalKind,
 )
 from repro.sidecar.emitter import QuackEmitter
 from repro.sidecar.frequency import FrequencyPolicy
 from repro.sidecar.health import HealthConfig, HealthMonitor, HealthState
+from repro.sidecar.negotiate import (
+    FEATURE_VERSION_SWITCH,
+    NegotiateConfig,
+    hello_transcript,
+    respond,
+)
 from repro.sidecar.protocol import (
+    ControlMessage,
     CorruptFrame,
+    HelloAckMessage,
+    HelloMessage,
     QuackMessage,
     ResetMessage,
     ResumeMessage,
+    VersionSwitchMessage,
+    control_packet,
     quack_packet,
-    reset_packet,
-    resume_packet,
 )
 from repro.sidecar.snapshot import (
     CheckpointStore,
@@ -97,6 +107,74 @@ class _EmitterMixin:
         self.checkpoints_taken = 0
         self.checkpoint_restores = 0
         self.checkpoint_corrupt = 0
+        # -- negotiation state (responder side) --
+        self.negotiate_config: NegotiateConfig | None = None
+        self.negotiated = True  # un-negotiated sessions assist immediately
+        self.negotiated_version = 1
+        self.negotiated_features = 0
+        self.wire_version = 1
+        self.wire_features = 0
+        self.hello_acks_sent = 0
+        self.version_switches = 0
+        self.stale_switches = 0
+        self.quacks_suppressed = 0
+
+    def _arm_negotiation(self, config: NegotiateConfig | None) -> None:
+        if config is None:
+            return
+        self.negotiate_config = config
+        self.negotiated = False  # no assistance before the handshake
+
+    # -- negotiation (responder side) --------------------------------------------
+
+    def _on_hello(self, hello: HelloMessage) -> None:
+        config = self.negotiate_config
+        if config is None:
+            return  # legacy peer: negotiation not armed here
+        ack = respond(hello, config.capabilities)
+        if ack is None:
+            return  # no version overlap: stay silent, never assist
+        if not self.negotiated:
+            self.negotiated = True
+            self.negotiated_version = ack.version
+            self.negotiated_features = ack.features
+            if ((ack.threshold, ack.bits) != (self.threshold, self.bits)
+                    and self.emitter.quack.count == 0):
+                # Adopt the negotiated parameters -- but only while the
+                # accumulator is empty; once identifiers are folded in,
+                # rebuilding it would orphan them in the peer's log.
+                self.threshold, self.bits = ack.threshold, ack.bits
+                self.emitter = QuackEmitter(ack.threshold, ack.bits,
+                                            policy=self.policy)
+            if obs.TRACER.enabled:
+                obs.TRACER.emit("sidecar.negotiated", self.sim.now,
+                                flow=self.flow_id, role="emitter",
+                                version=ack.version, features=ack.features)
+                obs.count("sidecar_negotiations_total", role="emitter")
+        # Re-ack duplicates: the initiator retries lost offers, and the
+        # answer to every retry must be byte-identical (idempotent).
+        self.hello_acks_sent += 1
+        self._send_control_message(ack)
+
+    def _on_version_switch(self, switch: VersionSwitchMessage) -> None:
+        if (not self.negotiated
+                or switch.epoch != self.epoch
+                or not 1 <= switch.version <= self.negotiated_version):
+            # A stale switch (pre-reset epoch) or one above the
+            # negotiated ceiling must not flip the session.
+            self.stale_switches += 1
+            return
+        if switch.version == self.wire_version:
+            return  # duplicate delivery (idempotent)
+        self.wire_version = switch.version
+        self.wire_features = self.negotiated_features & 0xFF \
+            if switch.version >= 2 else 0
+        self.version_switches += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.version_switch", self.sim.now,
+                            flow=self.flow_id, role="emitter",
+                            version=switch.version, epoch=switch.epoch)
+            obs.count("sidecar_version_switches_total", role="emitter")
 
     # -- checkpoint/restore ----------------------------------------------------
 
@@ -121,7 +199,8 @@ class _EmitterMixin:
                             include_checksum=True)
         blob = encode_checkpoint(EmitterCheckpoint(
             flow_id=self.flow_id, epoch=self.epoch,
-            taken_at=self.sim.now, frame=frame))
+            taken_at=self.sim.now, frame=frame,
+            wire_version=self.wire_version, features=self.wire_features))
         self.checkpoints.save(blob)
         self.checkpoints_taken += 1
         if obs.TRACER.enabled:
@@ -159,6 +238,14 @@ class _EmitterMixin:
         self.epoch = 0
         self.emitter = QuackEmitter(self.threshold, self.bits,
                                     policy=self.policy)
+        # Negotiated session state is volatile too; a checkpoint (v2)
+        # restores it below, otherwise an armed responder waits for a
+        # fresh HELLO before assisting again.
+        self.negotiated = self.negotiate_config is None
+        self.negotiated_version = 1
+        self.negotiated_features = 0
+        self.wire_version = 1
+        self.wire_features = 0
         if self.checkpoints is None:
             return
         blob = self.checkpoints.load()
@@ -176,6 +263,17 @@ class _EmitterMixin:
             return
         self.emitter.quack = restored
         self.epoch = checkpoint.epoch
+        if self.negotiate_config is not None:
+            # The checkpoint proves a completed handshake; resume under
+            # the session it records rather than waiting for a HELLO the
+            # initiator (who saw no crash) will never resend.  The
+            # restored wire version is a conservative ceiling until a
+            # fresh VERSION-SWITCH raises it.
+            self.negotiated = True
+            self.negotiated_version = max(checkpoint.wire_version, 1)
+            self.negotiated_features = checkpoint.features
+            self.wire_version = checkpoint.wire_version
+            self.wire_features = checkpoint.features
         self.checkpoint_restores += 1
         if obs.TRACER.enabled:
             obs.TRACER.emit("sidecar.resume", self.sim.now,
@@ -185,14 +283,26 @@ class _EmitterMixin:
         self._send_control_message(ResumeMessage(
             flow_id=self.flow_id, epoch=self.epoch, count=restored.count))
 
-    def _send_control_message(self, message: ResumeMessage) -> None:
+    def _send_control_message(self, message: ControlMessage) -> None:
         raise NotImplementedError  # subclasses know their endpoints
 
     def _note_control(self, message) -> ResetMessage | None:
-        """Classify a CONTROL payload; returns a reset to apply, if any."""
+        """Classify a CONTROL payload; returns a reset to apply, if any.
+
+        Negotiation traffic (HELLO offers, VERSION-SWITCH) for this flow
+        is handled here directly.
+        """
         if isinstance(message, CorruptFrame):
             if not message.flow_id or message.flow_id == self.flow_id:
                 self.corrupt_frames += 1
+            return None
+        if isinstance(message, HelloMessage) \
+                and message.flow_id == self.flow_id:
+            self._on_hello(message)
+            return None
+        if isinstance(message, VersionSwitchMessage) \
+                and message.flow_id == self.flow_id:
+            self._on_version_switch(message)
             return None
         if isinstance(message, ResetMessage) \
                 and message.flow_id == self.flow_id:
@@ -210,6 +320,11 @@ class _EmitterMixin:
             "checkpoints_taken": self.checkpoints_taken,
             "checkpoint_restores": self.checkpoint_restores,
             "checkpoint_corrupt": self.checkpoint_corrupt,
+            "wire_version": self.wire_version,
+            "hello_acks_sent": self.hello_acks_sent,
+            "version_switches": self.version_switches,
+            "stale_switches": self.stale_switches,
+            "quacks_suppressed": self.quacks_suppressed,
         }
 
 
@@ -220,7 +335,8 @@ class HostEmitterAgent(_EmitterMixin):
                  policy: FrequencyPolicy,
                  threshold: int = DEFAULT_THRESHOLD, bits: int = 32,
                  checkpoints: CheckpointStore | None = None,
-                 checkpoint_interval_s: float = 0.05) -> None:
+                 checkpoint_interval_s: float = 0.05,
+                 negotiate: NegotiateConfig | None = None) -> None:
         self.sim = sim
         self.host = host
         self.peer = peer
@@ -233,6 +349,7 @@ class HostEmitterAgent(_EmitterMixin):
         self.epoch = 0
         self.resets_applied = 0
         self._init_fault_state()
+        self._arm_negotiation(negotiate)
         self._arm_checkpoints(checkpoints, checkpoint_interval_s)
         host.add_handler(PacketKind.DATA, self._observe)
         host.add_handler(PacketKind.CONTROL, self._on_control)
@@ -252,9 +369,10 @@ class HostEmitterAgent(_EmitterMixin):
         if reset is not None:
             self._apply_reset(reset.epoch)
 
-    def _send_control_message(self, message: ResumeMessage) -> None:
-        self.host.send(resume_packet(self.host.name, self.peer, message,
-                                     self.sim.now))
+    def _send_control_message(self, message: ControlMessage) -> None:
+        self.host.send(control_packet(self.host.name, self.peer, message,
+                                      self.sim.now, version=self.wire_version,
+                                      features=self.wire_features))
 
     def _tick(self, interval: float) -> None:
         if self.emitter.pending_packets:
@@ -262,6 +380,11 @@ class HostEmitterAgent(_EmitterMixin):
         self.sim.schedule(interval, self._tick, interval)
 
     def _send(self, snapshot) -> None:
+        if not self.negotiated:
+            # Assistance is opt-in: no quACKs before the handshake
+            # completes (identifiers keep accumulating meanwhile).
+            self.quacks_suppressed += 1
+            return
         self.quacks_sent += 1
         if obs.TRACER.enabled:
             obs.TRACER.emit("sidecar.quack_emit", self.sim.now, role="host",
@@ -269,7 +392,9 @@ class HostEmitterAgent(_EmitterMixin):
             obs.count("sidecar_quacks_emitted_total", role="host")
         self.host.send(quack_packet(self.host.name, self.peer, snapshot,
                                     self.flow_id, self.sim.now,
-                                    epoch=self.epoch))
+                                    epoch=self.epoch,
+                                    version=self.wire_version,
+                                    features=self.wire_features))
 
 
 @dataclass
@@ -293,6 +418,12 @@ class ServerSidecarStats:
     resumes_accepted: int = 0
     resumes_rejected: int = 0
     control_corrupt_frames: int = 0
+    hellos_sent: int = 0
+    hello_acks_received: int = 0
+    transcript_mismatches: int = 0
+    quacks_before_negotiation: int = 0
+    stale_version_frames: int = 0
+    version_switches: int = 0
 
 
 class ServerSidecar:
@@ -352,7 +483,9 @@ class ServerSidecar:
                  reset_retry_cap: float = 2.0,
                  restart_margin: int | None = None,
                  health: HealthConfig | None = None,
-                 defense: DefenseConfig | None = None) -> None:
+                 defense: DefenseConfig | None = None,
+                 negotiate: NegotiateConfig | None = None,
+                 peer: str | None = None) -> None:
         self.sim = sim
         self.sender = sender
         self.congestive_loss = congestive_loss
@@ -369,7 +502,7 @@ class ServerSidecar:
         self.epoch = 0
         self._consecutive_failures = 0
         self._settling = False
-        self._peer: str | None = None
+        self._peer: str | None = peer
         self._last_emitter_count: int | None = None
         self._epoch_confirmed = True
         self._retry_handle: EventHandle | None = None
@@ -394,6 +527,30 @@ class ServerSidecar:
         if self.monitor is not None:
             interval = self.monitor.config.stale_after / 2
             sim.schedule(interval, self._check_staleness, interval)
+        # -- capability negotiation (initiator side) --
+        self.negotiate = negotiate
+        self.negotiated_version: int | None = None
+        self.negotiated_features = 0
+        self.wire_version = 1
+        self.wire_features = 0
+        self.handshake_bytes = 0
+        #: Simulator time at which assistance became possible: 0.0 for
+        #: un-negotiated sessions, the HELLO-ACK arrival otherwise (the
+        #: negotiation-overhead benchmark reads this).
+        self.assistance_started_at: float | None = \
+            None if negotiate is not None else 0.0
+        self._hello: HelloMessage | None = None
+        self._expected_transcript: bytes | None = None
+        self._hello_timer: EventHandle | None = None
+        self._switch_grace_until: float | None = None
+        self._pre_switch_version = 1
+        self._switch_confirmed = True
+        if negotiate is not None:
+            if peer is None:
+                raise ValueError(
+                    "capability negotiation needs an explicit peer address "
+                    "(the HELLO is sent before any quACK reveals one)")
+            sim.schedule(0.0, self._send_hello)
         sender.add_send_listener(self._on_send)
         sender.host.add_handler(PacketKind.QUACK, self._on_quack_packet)
         sender.host.add_handler(PacketKind.CONTROL, self._on_control_packet)
@@ -428,6 +585,13 @@ class ServerSidecar:
             "resumes_accepted": self.stats.resumes_accepted,
             "resumes_rejected": self.stats.resumes_rejected,
             "control_corrupt_frames": self.stats.control_corrupt_frames,
+            "hellos_sent": self.stats.hellos_sent,
+            "hello_acks_received": self.stats.hello_acks_received,
+            "transcript_mismatches": self.stats.transcript_mismatches,
+            "quacks_before_negotiation": self.stats.quacks_before_negotiation,
+            "stale_version_frames": self.stats.stale_version_frames,
+            "version_switches": self.stats.version_switches,
+            "wire_version": self.wire_version,
             "health": self.health_state.value,
         }
         return counters
@@ -445,6 +609,14 @@ class ServerSidecar:
             return
         self.stats.quacks_received += 1
         self._peer = packet.src
+        if not self.negotiation_complete:
+            # Assistance has not been agreed to yet; an unsolicited
+            # snapshot is not trusted input.
+            self.stats.quacks_before_negotiation += 1
+            return
+        if self.negotiate is not None \
+                and not self._frame_version_ok(message.frame):
+            return
         if message.epoch != self.epoch:
             self.stats.stale_epoch_quacks += 1
             if message.epoch < self.epoch:
@@ -583,6 +755,7 @@ class ServerSidecar:
         if self.ledger.record(signal):
             self.stats.quarantines += 1
             self._cancel_retry()
+            self._cancel_hello_retry()
             self.monitor.on_adversarial(
                 now, f"quarantined: {signal.kind.value}")
             self._sync_health()
@@ -596,6 +769,161 @@ class ServerSidecar:
             # Still lying while quarantined: restart the clean clock.
             self.monitor.on_adversarial(now, signal.kind.value)
 
+    # -- capability negotiation (initiator side) ---------------------------------
+
+    @property
+    def negotiation_complete(self) -> bool:
+        """Has assistance been agreed?  Trivially true when not armed."""
+        return self.negotiate is None or self.negotiated_version is not None
+
+    def _send_hello(self) -> None:
+        caps = self.negotiate.capabilities
+        if self._hello is None:
+            self._hello = caps.hello(
+                self.sender.flow_id,
+                threshold=self.consumer.mine.threshold,
+                bits=self.consumer.mine.bits)
+            self._expected_transcript = hello_transcript(self._hello)
+        packet = control_packet(self.sender.host.name, self._peer,
+                                self._hello, self.sim.now)
+        self.stats.hellos_sent += 1
+        self.handshake_bytes += packet.size_bytes
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.hello", self.sim.now,
+                            flow=self.sender.flow_id,
+                            max_version=self._hello.max_version,
+                            attempt=self.stats.hellos_sent)
+            obs.count("sidecar_hellos_total")
+        self.sender.host.send(packet)
+        self._hello_timer = self.sim.schedule(self.negotiate.retry_s,
+                                              self._hello_retry)
+
+    def _hello_retry(self) -> None:
+        self._hello_timer = None
+        if self.negotiation_complete or self.quarantined:
+            return
+        if self.stats.hellos_sent >= self.negotiate.strip_after:
+            # The loss allowance is spent: an unanswered offer is now
+            # evidence of an on-path downgrade (stripped HELLOs), not of
+            # an unlucky datagram.
+            self._record_signal(AdversarialSignal(
+                time=self.sim.now, kind=SignalKind.DOWNGRADE,
+                flow_id=self.sender.flow_id,
+                detail=f"{self.stats.hellos_sent} capability offers "
+                       f"unanswered",
+                observed=self.stats.hellos_sent,
+                expected=self.negotiate.strip_after))
+            if self.quarantined:
+                return  # that signal tripped quarantine: stop offering
+        self._send_hello()
+
+    def _cancel_hello_retry(self) -> None:
+        if self._hello_timer is not None:
+            self._hello_timer.cancel()
+            self._hello_timer = None
+
+    def _on_hello_ack(self, packet: Packet, ack: HelloAckMessage) -> None:
+        self.stats.hello_acks_received += 1
+        if self.negotiate is None or self.negotiation_complete:
+            return  # unsolicited or duplicate answer
+        self.handshake_bytes += packet.size_bytes
+        caps = self.negotiate.capabilities
+        if ack.transcript != self._expected_transcript \
+                or not caps.min_version <= ack.version <= caps.max_version:
+            # The responder answered an offer we never made: someone
+            # rewrote the HELLO in flight (or forged the answer).
+            self.stats.transcript_mismatches += 1
+            self._record_signal(AdversarialSignal(
+                time=self.sim.now, kind=SignalKind.DOWNGRADE,
+                flow_id=self.sender.flow_id,
+                detail="hello-ack transcript does not match the offer sent",
+                observed=ack.version, expected=self._hello.max_version))
+            return
+        self._peer = packet.src
+        self.negotiated_version = ack.version
+        self.negotiated_features = ack.features & caps.features
+        self.assistance_started_at = self.sim.now
+        self._cancel_hello_retry()
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.negotiated", self.sim.now,
+                            flow=self.sender.flow_id, role="consumer",
+                            version=ack.version, features=ack.features,
+                            handshake_bytes=self.handshake_bytes)
+            obs.count("sidecar_negotiations_total", role="consumer")
+
+    def request_version_switch(self, version: int) -> bool:
+        """Flip the session's wire version mid-connection, without a reset.
+
+        Sends a VERSION-SWITCH pinned to the current epoch and starts
+        *sending* under ``version`` immediately.  On the receive side,
+        old-version frames stay acceptable until the first new-version
+        frame proves the emitter adopted the switch -- the switch
+        message shares the forward link with DATA and can queue behind
+        a full bottleneck buffer, so a wall-clock deadline would
+        misclassify a healthy emitter's snapshots as stale.  From that
+        confirmation, reordered stragglers get one
+        :attr:`~repro.sidecar.negotiate.NegotiateConfig.switch_grace_s`
+        window; afterwards old-version frames are counted and dropped.
+        Returns False when the switch is not possible (no negotiation,
+        above the negotiated ceiling, or the peer did not offer the
+        version-switch feature).
+        """
+        if self.negotiate is None or not self.negotiation_complete:
+            return False
+        if version == self.wire_version:
+            return True
+        if (not 1 <= version <= self.negotiated_version
+                or not self.negotiated_features & FEATURE_VERSION_SWITCH
+                or self._peer is None):
+            return False
+        switch = VersionSwitchMessage(flow_id=self.sender.flow_id,
+                                      version=version, epoch=self.epoch)
+        self.sender.host.send(control_packet(
+            self.sender.host.name, self._peer, switch, self.sim.now,
+            version=self.wire_version, features=self.wire_features))
+        self._pre_switch_version = self.wire_version
+        self.wire_version = version
+        self.wire_features = self.negotiated_features & 0xFF \
+            if version >= 2 else 0
+        self._switch_confirmed = False
+        self._switch_grace_until = None
+        self.stats.version_switches += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.version_switch", self.sim.now,
+                            flow=self.sender.flow_id, role="consumer",
+                            version=version, epoch=self.epoch)
+            obs.count("sidecar_version_switches_total", role="consumer")
+        return True
+
+    def _frame_version_ok(self, frame: bytes) -> bool:
+        """Enforce the negotiated wire version on an arriving quACK frame."""
+        try:
+            version = wire.frame_version(frame)
+        except WireFormatError:
+            return True  # let the decode path classify the corruption
+        if version == self.wire_version:
+            if not self._switch_confirmed:
+                # First frame under the new version: the emitter has
+                # demonstrably adopted the switch.  Stragglers reordered
+                # behind it get one grace window from this moment.
+                self._switch_confirmed = True
+                self._switch_grace_until = \
+                    self.sim.now + self.negotiate.switch_grace_s
+            return True
+        if version == self._pre_switch_version:
+            if not self._switch_confirmed:
+                return True  # switch still propagating; snapshot is valid
+            grace = self._switch_grace_until
+            if grace is not None and self.sim.now <= grace:
+                return True  # reordered in-flight frame from before
+        self.stats.stale_version_frames += 1
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("sidecar.stale_version", self.sim.now,
+                            flow=self.sender.flow_id, got=version,
+                            expected=self.wire_version)
+            obs.count("sidecar_stale_version_frames_total")
+        return False
+
     # -- checkpoint/restore (resume handshake, consumer side) --------------------
 
     def _on_control_packet(self, packet: Packet) -> None:
@@ -603,6 +931,10 @@ class ServerSidecar:
         if isinstance(message, CorruptFrame):
             if not message.flow_id or message.flow_id == self.sender.flow_id:
                 self.stats.control_corrupt_frames += 1
+            return
+        if isinstance(message, HelloAckMessage) \
+                and message.flow_id == self.sender.flow_id:
+            self._on_hello_ack(packet, message)
             return
         if not isinstance(message, ResumeMessage) \
                 or message.flow_id != self.sender.flow_id:
@@ -708,10 +1040,11 @@ class ServerSidecar:
     def _send_reset(self) -> None:
         if self._peer is None:
             return
-        self.sender.host.send(reset_packet(
+        self.sender.host.send(control_packet(
             self.sender.host.name, self._peer,
             ResetMessage(flow_id=self.sender.flow_id, epoch=self.epoch),
-            self.sim.now))
+            self.sim.now, version=self.wire_version,
+            features=self.wire_features))
 
     # -- reset retry (lost-handshake recovery) -----------------------------------
 
@@ -790,7 +1123,8 @@ class ProxyEmitterTap(_EmitterMixin):
                  client: str, flow_id: str, policy: FrequencyPolicy,
                  threshold: int = DEFAULT_THRESHOLD, bits: int = 32,
                  checkpoints: CheckpointStore | None = None,
-                 checkpoint_interval_s: float = 0.05) -> None:
+                 checkpoint_interval_s: float = 0.05,
+                 negotiate: NegotiateConfig | None = None) -> None:
         self.sim = sim
         self.router = router
         self.server = server
@@ -804,6 +1138,7 @@ class ProxyEmitterTap(_EmitterMixin):
         self.epoch = 0
         self.resets_applied = 0
         self._init_fault_state()
+        self._arm_negotiation(negotiate)
         self._arm_checkpoints(checkpoints, checkpoint_interval_s)
         router.add_tap(self.observe)
         interval = policy.interval_hint()
@@ -832,6 +1167,9 @@ class ProxyEmitterTap(_EmitterMixin):
         self.sim.schedule(interval, self._tick, interval)
 
     def _send(self, snapshot) -> None:
+        if not self.negotiated:
+            self.quacks_suppressed += 1
+            return
         self.quacks_sent += 1
         if obs.TRACER.enabled:
             obs.TRACER.emit("sidecar.quack_emit", self.sim.now, role="proxy",
@@ -839,8 +1177,12 @@ class ProxyEmitterTap(_EmitterMixin):
             obs.count("sidecar_quacks_emitted_total", role="proxy")
         self.router.send(quack_packet(self.router.name, self.server, snapshot,
                                       self.flow_id, self.sim.now,
-                                      epoch=self.epoch))
+                                      epoch=self.epoch,
+                                      version=self.wire_version,
+                                      features=self.wire_features))
 
-    def _send_control_message(self, message: ResumeMessage) -> None:
-        self.router.send(resume_packet(self.router.name, self.server, message,
-                                       self.sim.now))
+    def _send_control_message(self, message: ControlMessage) -> None:
+        self.router.send(control_packet(self.router.name, self.server,
+                                        message, self.sim.now,
+                                        version=self.wire_version,
+                                        features=self.wire_features))

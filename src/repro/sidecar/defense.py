@@ -72,6 +72,10 @@ class SignalKind(Enum):
     MISSING_NOT_SENT = "missing_not_sent"
     #: A ResumeMessage whose epoch/count no honest restart produces.
     IMPLAUSIBLE_RESUME = "implausible_resume"
+    #: The capability handshake was tampered with: a HELLO-ACK whose
+    #: transcript hash does not match the offer actually sent (rewritten
+    #: offer), or offers stripped past the loss allowance.
+    DOWNGRADE = "downgrade"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,188 @@
+"""Capability negotiation: versions, features, and downgrade protection.
+
+The paper (Section 2) has consenting sidecars "configure sidecar
+protocol parameters with each other such as the communication frequency
+and properties of the quACK"; this module is that configuration step,
+hardened the way Secure Middlebox-Assisted QUIC argues middlebox
+assistance must be: *explicitly negotiated, with downgrade resistance*.
+
+The handshake is one round trip, initiated by the quACK consumer
+(:class:`~repro.sidecar.agents.ServerSidecar`) before any assistance
+starts:
+
+* **HELLO** -- the initiator offers its supported protocol-version range,
+  the quACK parameters it wants (threshold ``t``, identifier ``bits``
+  ``b``), its preferred emission interval, and its feature bits.
+* **HELLO-ACK** -- the responder picks the *highest mutually supported*
+  version, clamps the parameters to what it can actually deliver,
+  intersects the feature bits, and echoes a SHA-256 **transcript hash**
+  over the offer exactly as received.
+
+The transcript hash is the downgrade protection.  An on-path adversary
+who rewrites the offer (say, clamping ``max_version`` to pin the session
+at v1, or stripping feature bits) changes the bytes the responder
+hashes; the initiator compares the echoed hash against the offer it
+actually sent and treats any mismatch as a
+:class:`~repro.sidecar.defense.SignalKind.DOWNGRADE` attack feeding the
+quarantine ledger.  An adversary who *strips* HELLOs entirely cannot
+force a silent fallback either: the initiator retries on a timer and,
+past :attr:`NegotiateConfig.strip_after` unanswered offers, ledgers each
+further timeout as the same downgrade signal -- enough of them and the
+channel is QUARANTINED, with the transport already running pure
+end-to-end (assistance never starts before the handshake completes, so
+goodput never drops below the unassisted baseline).
+
+Negotiation sets a capability *ceiling*; the wire keeps speaking v1
+until a :class:`~repro.sidecar.protocol.VersionSwitchMessage` flips both
+peers mid-connection (no reset -- cumulative quACK state is
+version-independent).  Frames under the pre-switch version stay valid
+until the first new-version frame confirms the emitter adopted the
+switch, plus one :attr:`NegotiateConfig.switch_grace_s` window for
+reordered stragglers; after that they are counted stale and dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.sidecar.protocol import (
+    HelloAckMessage,
+    HelloMessage,
+    encode_control,
+)
+
+#: Sidecar protocol versions this build implements end to end.
+PROTOCOL_VERSIONS = (1, 2)
+
+#: Feature bits carried in HELLO/HELLO-ACK (and, under v2 framing, in
+#: every frame header so peers can audit the negotiated configuration).
+FEATURE_RESUME = 0x01          #: checkpoint/restore resume handshake
+FEATURE_DEFENSE = 0x02         #: plausibility gates + quarantine ledger
+FEATURE_VERSION_SWITCH = 0x04  #: mid-connection version upgrades
+
+ALL_FEATURES = FEATURE_RESUME | FEATURE_DEFENSE | FEATURE_VERSION_SWITCH
+
+_FEATURE_NAMES = {
+    FEATURE_RESUME: "resume",
+    FEATURE_DEFENSE: "defense",
+    FEATURE_VERSION_SWITCH: "version-switch",
+}
+
+
+def feature_names(bits: int) -> list[str]:
+    """Human-readable names of the feature bits set in ``bits``."""
+    return [name for bit, name in sorted(_FEATURE_NAMES.items())
+            if bits & bit]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one sidecar endpoint can speak and wants to use.
+
+    The initiator's capabilities become the HELLO offer; the responder's
+    clamp it.  ``interval_us`` is a *preference* (0 = no preference),
+    quACK parameters are maxima the endpoint can afford.
+    """
+
+    min_version: int = 1
+    max_version: int = 2
+    threshold: int = 20
+    bits: int = 32
+    interval_us: int = 0
+    features: int = ALL_FEATURES
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_version <= self.max_version:
+            raise ValueError(
+                f"version range {self.min_version}..{self.max_version} "
+                f"is empty or starts below 1")
+
+    def hello(self, flow_id: str, threshold: int | None = None,
+              bits: int | None = None) -> HelloMessage:
+        """Build the capability offer for one flow.
+
+        ``threshold``/``bits`` override the capability defaults with the
+        consumer's actual session parameters.
+        """
+        return HelloMessage(
+            flow_id=flow_id,
+            min_version=self.min_version,
+            max_version=self.max_version,
+            threshold=self.threshold if threshold is None else threshold,
+            bits=self.bits if bits is None else bits,
+            interval_us=self.interval_us,
+            features=self.features,
+        )
+
+
+def select_version(offer_min: int, offer_max: int,
+                   own_min: int, own_max: int) -> int | None:
+    """The highest mutually supported version, or None if none overlap."""
+    low = max(offer_min, own_min)
+    high = min(offer_max, own_max)
+    return high if low <= high else None
+
+
+def hello_transcript(hello: HelloMessage) -> bytes:
+    """SHA-256 over the offer's canonical (v1) encoding.
+
+    Both sides hash the offer *as they saw it* -- the responder hashes
+    what arrived, the initiator hashes what it sent -- via the same
+    deterministic v1 re-encoding, so any on-path rewrite of any offer
+    field produces a mismatch the initiator can detect in the echo.
+    """
+    return hashlib.sha256(encode_control(hello, version=1)).digest()
+
+
+def respond(offer: HelloMessage, own: Capabilities) -> HelloAckMessage | None:
+    """The responder's answer to a capability offer.
+
+    Picks the highest mutual version, clamps quACK parameters to what
+    this endpoint affords, intersects feature bits, and embeds the
+    transcript hash of the offer as received.  ``None`` means no version
+    overlaps -- the responder stays silent and never assists.
+    """
+    chosen = select_version(offer.min_version, offer.max_version,
+                            own.min_version, own.max_version)
+    if chosen is None:
+        return None
+    return HelloAckMessage(
+        flow_id=offer.flow_id,
+        version=chosen,
+        threshold=min(offer.threshold, own.threshold),
+        bits=min(offer.bits, own.bits),
+        interval_us=offer.interval_us or own.interval_us,
+        features=offer.features & own.features,
+        transcript=hello_transcript(offer),
+    )
+
+
+@dataclass
+class NegotiateConfig:
+    """Arms capability negotiation on an agent (consumer or emitter).
+
+    ``retry_s`` is the initiator's offer-retry timer; ``strip_after`` is
+    how many consecutive unanswered offers are written off as loss
+    before each further timeout ledgers a DOWNGRADE signal;
+    ``switch_grace_s`` is roughly one RTT -- how long frames still
+    encoded under the pre-switch version remain tolerated *after the
+    first new-version frame* confirms the emitter adopted a
+    VERSION-SWITCH (before that confirmation they are simply valid:
+    the switch message can queue behind a full DATA buffer).
+    """
+
+    capabilities: Capabilities = field(default_factory=Capabilities)
+    retry_s: float = 0.15
+    strip_after: int = 2
+    switch_grace_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.retry_s <= 0:
+            raise ValueError(f"retry_s must be > 0, got {self.retry_s}")
+        if self.strip_after < 1:
+            raise ValueError(
+                f"strip_after must be >= 1, got {self.strip_after}")
+        if self.switch_grace_s < 0:
+            raise ValueError(
+                f"switch_grace_s must be >= 0, got {self.switch_grace_s}")

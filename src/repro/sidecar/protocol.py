@@ -31,7 +31,7 @@ import zlib
 from dataclasses import dataclass
 
 from repro import obs
-from repro.errors import WireFormatError
+from repro.errors import WireFormatError, unsupported_version
 from repro.netsim.packet import Packet, PacketKind
 from repro.quack import wire
 from repro.quack.power_sum import PowerSumQuack
@@ -42,11 +42,20 @@ SIDECAR_HEADER_BYTES = 28
 #: Magic prefix of serialized control messages (reset/config).
 CONTROL_MAGIC = b"sC"
 CONTROL_VERSION = 1
+#: Every control-frame version this build can encode and decode.  v2
+#: inserts a negotiated-feature byte between the version and the kind.
+CONTROL_VERSIONS = (1, 2)
+CONTROL_FORMAT = "control frame"
 _CONTROL_RESET = 1
 _CONTROL_CONFIG = 2
 _CONTROL_RESUME = 3
+_CONTROL_HELLO = 4
+_CONTROL_HELLO_ACK = 5
+_CONTROL_VERSION_SWITCH = 6
 #: Sentinel for "field not present" in serialized ConfigMessages.
 _ABSENT = 0xFFFFFFFF
+#: Size of the transcript hash a HELLO-ACK echoes (SHA-256).
+TRANSCRIPT_BYTES = 32
 
 
 @dataclass(frozen=True)
@@ -116,6 +125,69 @@ class ResumeMessage:
 
 
 @dataclass(frozen=True)
+class HelloMessage:
+    """Capability offer: opens the Section 2 "configure each other" handshake.
+
+    The initiator (the quACK consumer,
+    :class:`~repro.sidecar.agents.ServerSidecar`) advertises the
+    protocol-version range it speaks, the quACK parameters it wants
+    (``threshold`` t, ``bits`` b), its preferred emission interval, and
+    its feature bits (:mod:`repro.sidecar.negotiate`).  The responder
+    answers with a :class:`HelloAckMessage` choosing the highest
+    mutually supported version; assistance does not start until the
+    handshake completes.
+    """
+
+    flow_id: str
+    min_version: int = 1
+    max_version: int = 1
+    threshold: int = 20
+    bits: int = 32
+    interval_us: int = 0
+    features: int = 0
+
+
+@dataclass(frozen=True)
+class HelloAckMessage:
+    """Capability answer: the responder's choice plus the offer transcript.
+
+    ``transcript`` is the SHA-256 over the offer frame *as the responder
+    received it*.  The initiator compares it against the hash of the
+    offer it actually sent: any on-path rewrite of the capability offer
+    (e.g. clamping ``max_version`` to force a downgrade) changes the
+    bytes and is detected here, then routed into the quarantine ledger
+    as a downgrade attack.
+    """
+
+    flow_id: str
+    version: int
+    threshold: int
+    bits: int
+    interval_us: int
+    features: int
+    transcript: bytes = b"\x00" * TRANSCRIPT_BYTES
+
+
+@dataclass(frozen=True)
+class VersionSwitchMessage:
+    """Consumer -> emitter: flip the wire version at an epoch boundary.
+
+    Carries the epoch the switch belongs to so a stale, reordered switch
+    from before a reset cannot flip a fresh session.  The emitter
+    adopts ``version`` for every subsequent frame; the consumer keeps
+    accepting old-version frames until the first new-version frame
+    confirms the emitter flipped, then for one further switch-grace
+    window (reordered in-flight snapshots), after which stale-version
+    frames are counted and dropped.  No reset, no pause: cumulative
+    quACK state is version-independent.
+    """
+
+    flow_id: str
+    version: int
+    epoch: int
+
+
+@dataclass(frozen=True)
 class CorruptFrame:
     """A sidecar datagram whose bytes no longer parse.
 
@@ -133,68 +205,99 @@ class CorruptFrame:
 #
 # offset  size  field
 # 0       2     magic b"sC"
-# 2       1     version (1)
-# 3       1     type (1 = reset, 2 = config, 3 = resume)
-# 4       2     flow-id length, big-endian, then the UTF-8 flow id
+# 2       1     version (1 or 2)
+# 3       1     negotiated-feature bits (version >= 2 only)
+# 3/4     1     type (1 = reset, 2 = config, 3 = resume, 4 = hello,
+#               5 = hello-ack, 6 = version-switch)
+# ..      2     flow-id length, big-endian, then the UTF-8 flow id
 # ..      --    type-specific fields (reset: epoch u32; config: every_n
 #               u32, interval_us u32, threshold u32 -- 0xFFFFFFFF = absent;
-#               resume: epoch u32, count u32)
+#               resume: epoch u32, count u32; hello: min u8, max u8,
+#               threshold u16, bits u8, interval_us u32, features u32;
+#               hello-ack: version u8, threshold u16, bits u8,
+#               interval_us u32, features u32, transcript 32 bytes;
+#               version-switch: version u8, epoch u32)
 # -4      4     CRC-32 over everything before it
 
-ControlMessage = ResetMessage | ConfigMessage | ResumeMessage
+ControlMessage = (ResetMessage | ConfigMessage | ResumeMessage
+                  | HelloMessage | HelloAckMessage | VersionSwitchMessage)
+
+_CONTROL_KINDS: dict[type, int] = {
+    ResetMessage: _CONTROL_RESET,
+    ConfigMessage: _CONTROL_CONFIG,
+    ResumeMessage: _CONTROL_RESUME,
+    HelloMessage: _CONTROL_HELLO,
+    HelloAckMessage: _CONTROL_HELLO_ACK,
+    VersionSwitchMessage: _CONTROL_VERSION_SWITCH,
+}
 
 
-def encode_control(message: ControlMessage) -> bytes:
-    """Serialize a control message, CRC included."""
-    if not isinstance(message, (ResetMessage, ConfigMessage, ResumeMessage)):
+def _encode_body(message: ControlMessage) -> bytes:
+    if isinstance(message, ResetMessage):
+        return struct.pack(">I", message.epoch)
+    if isinstance(message, ResumeMessage):
+        return struct.pack(">II", message.epoch, message.count)
+    if isinstance(message, ConfigMessage):
+        every = _ABSENT if message.every_n is None else message.every_n
+        # Round, never truncate: int() would drift encode->decode round
+        # trips by up to 1 us per hop.
+        interval = _ABSENT if message.interval_s is None \
+            else int(round(message.interval_s * 1e6))
+        threshold = _ABSENT if message.threshold is None else message.threshold
+        return struct.pack(">III", every, interval, threshold)
+    if isinstance(message, HelloMessage):
+        return struct.pack(">BBHBII", message.min_version,
+                           message.max_version, message.threshold,
+                           message.bits, message.interval_us,
+                           message.features)
+    if isinstance(message, HelloAckMessage):
+        if len(message.transcript) != TRANSCRIPT_BYTES:
+            raise WireFormatError(
+                f"hello-ack transcript is {len(message.transcript)} bytes, "
+                f"expected {TRANSCRIPT_BYTES}")
+        return struct.pack(">BHBII", message.version, message.threshold,
+                           message.bits, message.interval_us,
+                           message.features) + message.transcript
+    return struct.pack(">BI", message.version, message.epoch)
+
+
+def encode_control(message: ControlMessage, version: int = CONTROL_VERSION,
+                   features: int = 0) -> bytes:
+    """Serialize a control message, CRC included.
+
+    ``version`` selects the frame layout; v2 additionally carries the
+    negotiated ``features`` bits in the header.  Both layouts can carry
+    every message type -- the frame version is about *framing*, so a
+    session negotiated to v2 stamps its feature bits on every control
+    message it sends.
+    """
+    if not isinstance(message, (ResetMessage, ConfigMessage, ResumeMessage,
+                                HelloMessage, HelloAckMessage,
+                                VersionSwitchMessage)):
         raise WireFormatError(
             f"cannot serialize control message {type(message).__name__}")
+    if version not in CONTROL_VERSIONS:
+        raise unsupported_version(CONTROL_FORMAT, version, CONTROL_VERSIONS)
+    if version < 2 and features:
+        raise WireFormatError(
+            f"{CONTROL_FORMAT}: feature bits {features:#04x} need "
+            f"version >= 2")
+    if not 0 <= features <= 0xFF:
+        raise WireFormatError(
+            f"{CONTROL_FORMAT}: feature bits {features:#x} exceed one byte")
     flow = message.flow_id.encode("utf-8")
-    head = [CONTROL_MAGIC, bytes((CONTROL_VERSION,))]
-    if isinstance(message, ResetMessage):
-        head.append(bytes((_CONTROL_RESET,)))
-        head.append(struct.pack(">H", len(flow)))
-        head.append(flow)
-        head.append(struct.pack(">I", message.epoch))
-    elif isinstance(message, ResumeMessage):
-        head.append(bytes((_CONTROL_RESUME,)))
-        head.append(struct.pack(">H", len(flow)))
-        head.append(flow)
-        head.append(struct.pack(">II", message.epoch, message.count))
-    else:
-        head.append(bytes((_CONTROL_CONFIG,)))
-        head.append(struct.pack(">H", len(flow)))
-        head.append(flow)
-        every = _ABSENT if message.every_n is None else message.every_n
-        interval = _ABSENT if message.interval_s is None \
-            else int(message.interval_s * 1e6)
-        threshold = _ABSENT if message.threshold is None else message.threshold
-        head.append(struct.pack(">III", every, interval, threshold))
+    head = [CONTROL_MAGIC, bytes((version,))]
+    if version >= 2:
+        head.append(bytes((features,)))
+    head.append(bytes((_CONTROL_KINDS[type(message)],)))
+    head.append(struct.pack(">H", len(flow)))
+    head.append(flow)
+    head.append(_encode_body(message))
     body = b"".join(head)
     return body + struct.pack(">I", zlib.crc32(body))
 
 
-def decode_control(frame: bytes) -> ControlMessage:
-    """Parse control-message bytes; malformed input raises WireFormatError."""
-    if len(frame) < 10:
-        raise WireFormatError(f"control frame too short: {len(frame)} bytes")
-    (stated,) = struct.unpack(">I", frame[-4:])
-    if stated != zlib.crc32(frame[:-4]):
-        raise WireFormatError("control frame checksum mismatch")
-    if frame[:2] != CONTROL_MAGIC:
-        raise WireFormatError(f"bad control magic {frame[:2]!r}")
-    if frame[2] != CONTROL_VERSION:
-        raise WireFormatError(f"unsupported control version {frame[2]}")
-    kind = frame[3]
-    (flow_len,) = struct.unpack(">H", frame[4:6])
-    body = frame[6:-4]
-    if len(body) < flow_len:
-        raise WireFormatError("control frame truncated inside flow id")
-    try:
-        flow_id = body[:flow_len].decode("utf-8")
-    except UnicodeDecodeError as exc:
-        raise WireFormatError(f"undecodable flow id: {exc}") from exc
-    rest = body[flow_len:]
+def _decode_body(kind: int, flow_id: str, rest: bytes) -> ControlMessage:
     if kind == _CONTROL_RESET:
         if len(rest) != 4:
             raise WireFormatError(f"reset body is {len(rest)} bytes, expected 4")
@@ -216,15 +319,88 @@ def decode_control(frame: bytes) -> ControlMessage:
             interval_s=None if interval == _ABSENT else interval / 1e6,
             threshold=None if threshold == _ABSENT else threshold,
         )
+    if kind == _CONTROL_HELLO:
+        if len(rest) != 13:
+            raise WireFormatError(
+                f"hello body is {len(rest)} bytes, expected 13")
+        low, high, threshold, bits, interval_us, feats = \
+            struct.unpack(">BBHBII", rest)
+        return HelloMessage(flow_id=flow_id, min_version=low,
+                            max_version=high, threshold=threshold,
+                            bits=bits, interval_us=interval_us,
+                            features=feats)
+    if kind == _CONTROL_HELLO_ACK:
+        if len(rest) != 12 + TRANSCRIPT_BYTES:
+            raise WireFormatError(
+                f"hello-ack body is {len(rest)} bytes, expected "
+                f"{12 + TRANSCRIPT_BYTES}")
+        chosen, threshold, bits, interval_us, feats = \
+            struct.unpack(">BHBII", rest[:12])
+        return HelloAckMessage(flow_id=flow_id, version=chosen,
+                               threshold=threshold, bits=bits,
+                               interval_us=interval_us, features=feats,
+                               transcript=rest[12:])
+    if kind == _CONTROL_VERSION_SWITCH:
+        if len(rest) != 5:
+            raise WireFormatError(
+                f"version-switch body is {len(rest)} bytes, expected 5")
+        chosen, epoch = struct.unpack(">BI", rest)
+        return VersionSwitchMessage(flow_id=flow_id, version=chosen,
+                                    epoch=epoch)
     raise WireFormatError(f"unknown control message type {kind}")
+
+
+def parse_control(frame: bytes) -> tuple[ControlMessage, int, int]:
+    """Parse control-message bytes into ``(message, version, features)``.
+
+    Malformed input raises :class:`~repro.errors.WireFormatError`.  The
+    frame version and the negotiated-feature bits (0 under version 1)
+    are returned alongside the message so the session layer can check
+    frames against the negotiated configuration.
+    """
+    if len(frame) < 10:
+        raise WireFormatError(f"control frame too short: {len(frame)} bytes")
+    (stated,) = struct.unpack(">I", frame[-4:])
+    if stated != zlib.crc32(frame[:-4]):
+        raise WireFormatError("control frame checksum mismatch")
+    if frame[:2] != CONTROL_MAGIC:
+        raise WireFormatError(f"bad control magic {frame[:2]!r}")
+    version = frame[2]
+    if version not in CONTROL_VERSIONS:
+        raise unsupported_version(CONTROL_FORMAT, version, CONTROL_VERSIONS)
+    features = 0
+    offset = 3
+    if version >= 2:
+        if len(frame) < 11:
+            raise WireFormatError(
+                f"control frame too short: {len(frame)} bytes")
+        features = frame[3]
+        offset = 4
+    kind = frame[offset]
+    (flow_len,) = struct.unpack(">H", frame[offset + 1:offset + 3])
+    body = frame[offset + 3:-4]
+    if len(body) < flow_len:
+        raise WireFormatError("control frame truncated inside flow id")
+    try:
+        flow_id = body[:flow_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"undecodable flow id: {exc}") from exc
+    return _decode_body(kind, flow_id, body[flow_len:]), version, features
+
+
+def decode_control(frame: bytes) -> ControlMessage:
+    """Parse control-message bytes; malformed input raises WireFormatError."""
+    return parse_control(frame)[0]
 
 
 def quack_packet(src: str, dst: str, quack: PowerSumQuack, flow_id: str,
                  now: float, include_count: bool = True,
-                 epoch: int = 0) -> Packet:
+                 epoch: int = 0, version: int = wire.VERSION,
+                 features: int = 0) -> Packet:
     """Wrap a quACK snapshot in a datagram addressed to a sidecar peer."""
     frame = wire.encode(quack, include_count=include_count,
-                        include_checksum=True)
+                        include_checksum=True, version=version,
+                        features=features)
     if obs.TRACER.enabled:
         obs.TRACER.emit("quack.encode", now, scheme="power_sum",
                         bytes=len(frame))
@@ -238,37 +414,39 @@ def quack_packet(src: str, dst: str, quack: PowerSumQuack, flow_id: str,
     )
 
 
-def reset_packet(src: str, dst: str, message: ResetMessage,
-                 now: float) -> Packet:
-    """Wrap a session reset in a datagram."""
+def control_packet(src: str, dst: str, message: ControlMessage,
+                   now: float, version: int = CONTROL_VERSION,
+                   features: int = 0) -> Packet:
+    """Wrap any control message in a datagram addressed to a sidecar peer.
+
+    The payload stays the dataclass (the simulator ships objects, not
+    bytes) but the datagram is *sized* from the real encoding under the
+    session's negotiated ``version``/``features``, so byte accounting and
+    serialization contention are faithful to the wire.
+    """
+    size = len(encode_control(message, version=version, features=features))
     return Packet(
         src=src, dst=dst,
-        size_bytes=SIDECAR_HEADER_BYTES + len(encode_control(message)),
+        size_bytes=SIDECAR_HEADER_BYTES + size,
         kind=PacketKind.CONTROL,
         identifier=None, flow_id=message.flow_id, created_at=now,
         payload=message,
     )
+
+
+def reset_packet(src: str, dst: str, message: ResetMessage,
+                 now: float) -> Packet:
+    """Wrap a session reset in a datagram."""
+    return control_packet(src, dst, message, now)
 
 
 def resume_packet(src: str, dst: str, message: ResumeMessage,
                   now: float) -> Packet:
     """Wrap a restart-resume announcement in a datagram."""
-    return Packet(
-        src=src, dst=dst,
-        size_bytes=SIDECAR_HEADER_BYTES + len(encode_control(message)),
-        kind=PacketKind.CONTROL,
-        identifier=None, flow_id=message.flow_id, created_at=now,
-        payload=message,
-    )
+    return control_packet(src, dst, message, now)
 
 
 def config_packet(src: str, dst: str, message: ConfigMessage,
                   now: float) -> Packet:
     """Wrap a configuration update in a datagram."""
-    return Packet(
-        src=src, dst=dst,
-        size_bytes=SIDECAR_HEADER_BYTES + len(encode_control(message)),
-        kind=PacketKind.CONTROL,
-        identifier=None, flow_id=message.flow_id, created_at=now,
-        payload=message,
-    )
+    return control_packet(src, dst, message, now)

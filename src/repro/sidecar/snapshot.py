@@ -41,13 +41,19 @@ import struct
 import zlib
 from dataclasses import dataclass
 
-from repro.errors import WireFormatError
+from repro.errors import WireFormatError, unsupported_version
 from repro.quack import wire
 from repro.quack.power_sum import PowerSumQuack
 
 #: Magic prefix of serialized checkpoints ("sidecar Snapshot").
 CHECKPOINT_MAGIC = b"sK"
 CHECKPOINT_VERSION = 1
+#: Every checkpoint version this build can encode and decode.  v2
+#: additionally persists the negotiated session (wire version + feature
+#: bits) so a restarted middlebox resumes under the configuration it
+#: agreed to, not a cold default.
+CHECKPOINT_VERSIONS = (1, 2)
+CHECKPOINT_FORMAT = "checkpoint"
 
 
 @dataclass(frozen=True)
@@ -57,13 +63,17 @@ class EmitterCheckpoint:
     ``frame`` is the quACK wire encoding (count and CRC included) of the
     accumulator at ``taken_at`` -- the same bytes a snapshot would put on
     the wire, so the restore path reuses the wire decoder and all its
-    validation.
+    validation.  ``wire_version``/``features`` record the negotiated
+    session (checkpoint v2); a v1 checkpoint restores as an
+    un-negotiated v1 session.
     """
 
     flow_id: str
     epoch: int
     taken_at: float
     frame: bytes
+    wire_version: int = 1
+    features: int = 0
 
     def quack(self) -> PowerSumQuack:
         """Deserialize the checkpointed accumulator (validating its CRC)."""
@@ -74,23 +84,41 @@ class EmitterCheckpoint:
         return decoded
 
 
-def encode_checkpoint(checkpoint: EmitterCheckpoint) -> bytes:
+def encode_checkpoint(checkpoint: EmitterCheckpoint,
+                      version: int | None = None) -> bytes:
     """Serialize a checkpoint, CRC included.
 
     Layout: magic ``sK``, version, flow-id length u16 + UTF-8 flow id,
-    epoch u32, taken_at f64, frame length u32 + frame bytes, CRC-32
-    trailer over everything before it.
+    epoch u32, taken_at f64, [v2 only: wire_version u8 + features u8,]
+    frame length u32 + frame bytes, CRC-32 trailer over everything
+    before it.  ``version=None`` picks v2 automatically when the
+    checkpoint carries negotiated state, v1 otherwise.
     """
+    if version is None:
+        negotiated = checkpoint.wire_version != 1 or checkpoint.features != 0
+        version = 2 if negotiated else CHECKPOINT_VERSION
+    if version not in CHECKPOINT_VERSIONS:
+        raise unsupported_version(CHECKPOINT_FORMAT, version,
+                                  CHECKPOINT_VERSIONS)
+    if version < 2 and (checkpoint.wire_version != 1 or checkpoint.features):
+        raise WireFormatError(
+            f"{CHECKPOINT_FORMAT}: negotiated session state (wire version "
+            f"{checkpoint.wire_version}, features "
+            f"{checkpoint.features:#04x}) needs version >= 2")
     flow = checkpoint.flow_id.encode("utf-8")
-    body = b"".join([
+    parts = [
         CHECKPOINT_MAGIC,
-        bytes((CHECKPOINT_VERSION,)),
+        bytes((version,)),
         struct.pack(">H", len(flow)),
         flow,
         struct.pack(">Id", checkpoint.epoch, checkpoint.taken_at),
-        struct.pack(">I", len(checkpoint.frame)),
-        checkpoint.frame,
-    ])
+    ]
+    if version >= 2:
+        parts.append(struct.pack(
+            ">BB", checkpoint.wire_version, checkpoint.features))
+    parts.append(struct.pack(">I", len(checkpoint.frame)))
+    parts.append(checkpoint.frame)
+    body = b"".join(parts)
     return body + struct.pack(">I", zlib.crc32(body))
 
 
@@ -103,25 +131,34 @@ def decode_checkpoint(blob: bytes) -> EmitterCheckpoint:
         raise WireFormatError("checkpoint checksum mismatch")
     if blob[:2] != CHECKPOINT_MAGIC:
         raise WireFormatError(f"bad checkpoint magic {blob[:2]!r}")
-    if blob[2] != CHECKPOINT_VERSION:
-        raise WireFormatError(f"unsupported checkpoint version {blob[2]}")
+    version = blob[2]
+    if version not in CHECKPOINT_VERSIONS:
+        raise unsupported_version(CHECKPOINT_FORMAT, version,
+                                  CHECKPOINT_VERSIONS)
+    session_bytes = 2 if version >= 2 else 0
     (flow_len,) = struct.unpack(">H", blob[3:5])
     rest = blob[5:-4]
-    if len(rest) < flow_len + 16:
+    if len(rest) < flow_len + 16 + session_bytes:
         raise WireFormatError("checkpoint truncated inside flow id")
     try:
         flow_id = rest[:flow_len].decode("utf-8")
     except UnicodeDecodeError as exc:
         raise WireFormatError(f"undecodable flow id: {exc}") from exc
     epoch, taken_at = struct.unpack(">Id", rest[flow_len:flow_len + 12])
-    (frame_len,) = struct.unpack(
-        ">I", rest[flow_len + 12:flow_len + 16])
-    frame = rest[flow_len + 16:]
+    offset = flow_len + 12
+    wire_version, features = 1, 0
+    if version >= 2:
+        wire_version, features = struct.unpack(
+            ">BB", rest[offset:offset + 2])
+        offset += 2
+    (frame_len,) = struct.unpack(">I", rest[offset:offset + 4])
+    frame = rest[offset + 4:]
     if len(frame) != frame_len:
         raise WireFormatError(
             f"checkpoint frame is {len(frame)} bytes, stated {frame_len}")
     return EmitterCheckpoint(flow_id=flow_id, epoch=epoch,
-                             taken_at=taken_at, frame=frame)
+                             taken_at=taken_at, frame=frame,
+                             wire_version=wire_version, features=features)
 
 
 class CheckpointStore:

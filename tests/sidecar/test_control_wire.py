@@ -1,4 +1,4 @@
-"""The control-message wire format (reset/config/resume), its checksum."""
+"""The control-message wire format, its checksum, and both frame versions."""
 
 import pytest
 from hypothesis import given, settings
@@ -6,11 +6,16 @@ from hypothesis import strategies as st
 
 from repro.errors import WireFormatError
 from repro.sidecar.protocol import (
+    TRANSCRIPT_BYTES,
     ConfigMessage,
+    HelloAckMessage,
+    HelloMessage,
     ResetMessage,
     ResumeMessage,
+    VersionSwitchMessage,
     decode_control,
     encode_control,
+    parse_control,
 )
 
 
@@ -42,39 +47,130 @@ class TestRoundTrip:
         message = ResumeMessage(flow_id="flow0", epoch=2, count=1234)
         assert decode_control(encode_control(message)) == message
 
+    def test_hello(self):
+        message = HelloMessage(flow_id="flow0", min_version=1, max_version=2,
+                               threshold=20, bits=32, interval_us=25_000,
+                               features=7)
+        assert decode_control(encode_control(message)) == message
+
+    def test_hello_ack(self):
+        message = HelloAckMessage(flow_id="flow0", version=2, threshold=20,
+                                  bits=32, interval_us=0, features=7,
+                                  transcript=bytes(range(TRANSCRIPT_BYTES)))
+        assert decode_control(encode_control(message)) == message
+
+    def test_hello_ack_rejects_wrong_transcript_size(self):
+        message = HelloAckMessage(flow_id="f", version=1, threshold=1,
+                                  bits=8, interval_us=0, features=0,
+                                  transcript=b"short")
+        with pytest.raises(WireFormatError, match="transcript"):
+            encode_control(message)
+
+    def test_version_switch(self):
+        message = VersionSwitchMessage(flow_id="flow0", version=2, epoch=3)
+        assert decode_control(encode_control(message)) == message
+
+    def test_config_interval_round_trips_exactly(self):
+        # The encoder rounds to the nearest microsecond instead of
+        # truncating, so any us-quantized interval survives unchanged.
+        for us in (1, 42_500, 999_999, 1_000_001, 60_000_000):
+            message = ConfigMessage(flow_id="f", interval_s=us / 1e6)
+            decoded = decode_control(encode_control(message))
+            assert decoded.interval_s == message.interval_s
+
+
+_ALL_MESSAGES = (
+    ResetMessage(flow_id="flow0", epoch=7),
+    ConfigMessage(flow_id="flow0", every_n=64, interval_s=0.025,
+                  threshold=20),
+    ResumeMessage(flow_id="flow0", epoch=2, count=1234),
+    HelloMessage(flow_id="flow0", min_version=1, max_version=2,
+                 threshold=20, bits=32, interval_us=0, features=7),
+    HelloAckMessage(flow_id="flow0", version=2, threshold=20, bits=32,
+                    interval_us=0, features=7,
+                    transcript=bytes(TRANSCRIPT_BYTES)),
+    VersionSwitchMessage(flow_id="flow0", version=2, epoch=0),
+)
+
+
+class TestFrameVersions:
+    @pytest.mark.parametrize(
+        "message", _ALL_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_every_type_round_trips_under_v2(self, message):
+        frame = encode_control(message, version=2, features=0x07)
+        decoded, version, features = parse_control(frame)
+        assert decoded == message
+        assert (version, features) == (2, 0x07)
+
+    @pytest.mark.parametrize(
+        "message", _ALL_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_v1_carries_no_features(self, message):
+        _, version, features = parse_control(encode_control(message))
+        assert (version, features) == (1, 0)
+
+    def test_v2_costs_exactly_one_byte(self):
+        message = ResetMessage(flow_id="flow0", epoch=1)
+        assert len(encode_control(message, version=2)) \
+            == len(encode_control(message)) + 1
+
+    def test_features_need_v2(self):
+        with pytest.raises(WireFormatError, match="need"):
+            encode_control(ResetMessage("f", 1), version=1, features=1)
+
+    def test_features_wider_than_a_byte_rejected(self):
+        with pytest.raises(WireFormatError, match="exceed"):
+            encode_control(ResetMessage("f", 1), version=2, features=0x100)
+
+    def test_unsupported_version_names_format_and_range(self):
+        with pytest.raises(WireFormatError,
+                           match=r"control frame: unsupported version 3 "
+                                 r"\(supported 1\.\.2\)"):
+            encode_control(ResetMessage("f", 1), version=3)
+
 
 # Strategies over every control-message shape, for the property tests.
+# Intervals are quantized to the wire's microsecond grid so round trips
+# can be asserted *exact*, not approximate.
 _flow_ids = st.text(max_size=24)
 _u32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
+_u16 = st.integers(min_value=0, max_value=2 ** 16 - 1)
+_u8 = st.integers(min_value=0, max_value=255)
+_intervals = st.integers(min_value=0, max_value=60_000_000) \
+    .map(lambda us: us / 1e6)
 _control_messages = st.one_of(
     st.builds(ResetMessage, flow_id=_flow_ids, epoch=_u32),
     st.builds(ResumeMessage, flow_id=_flow_ids, epoch=_u32, count=_u32),
     st.builds(ConfigMessage, flow_id=_flow_ids,
               every_n=st.none() | st.integers(min_value=0,
                                               max_value=0xFFFFFFFE),
-              interval_s=st.none() | st.floats(min_value=0.0, max_value=60.0,
-                                               allow_nan=False),
+              interval_s=st.none() | _intervals,
               threshold=st.none() | st.integers(min_value=0,
-                                                max_value=0xFFFFFFFE)))
+                                                max_value=0xFFFFFFFE)),
+    st.builds(HelloMessage, flow_id=_flow_ids, min_version=_u8,
+              max_version=_u8, threshold=_u16, bits=_u8,
+              interval_us=_u32, features=_u32),
+    st.builds(HelloAckMessage, flow_id=_flow_ids, version=_u8,
+              threshold=_u16, bits=_u8, interval_us=_u32, features=_u32,
+              transcript=st.binary(min_size=TRANSCRIPT_BYTES,
+                                   max_size=TRANSCRIPT_BYTES)),
+    st.builds(VersionSwitchMessage, flow_id=_flow_ids, version=_u8,
+              epoch=_u32))
 
 
 class TestProperties:
-    @given(message=_control_messages)
-    @settings(max_examples=150)
-    def test_every_message_round_trips(self, message):
-        decoded = decode_control(encode_control(message))
-        assert type(decoded) is type(message)
-        assert decoded.flow_id == message.flow_id
-        if isinstance(message, ConfigMessage):
-            assert decoded.every_n == message.every_n
-            assert decoded.threshold == message.threshold
-            if message.interval_s is None:
-                assert decoded.interval_s is None
-            else:
-                assert decoded.interval_s == pytest.approx(
-                    message.interval_s, abs=1e-4)
-        else:
-            assert decoded == message
+    @given(message=_control_messages,
+           version=st.sampled_from((1, 2)), features=_u8)
+    @settings(max_examples=200)
+    def test_every_message_round_trips_exactly(self, message, version,
+                                               features):
+        # Exact equality, interval_s included: the microsecond grid of
+        # the strategies matches the wire's, and the encoder rounds.
+        frame = encode_control(message, version=version,
+                               features=features if version >= 2 else 0)
+        decoded, got_version, got_features = parse_control(frame)
+        assert decoded == message
+        assert got_version == version
+        assert got_features == (features if version >= 2 else 0)
 
     @given(message=_control_messages,
            cut=st.integers(min_value=0, max_value=10_000))
@@ -102,7 +198,9 @@ class TestProperties:
         except WireFormatError:
             return
         assert isinstance(decoded,
-                          (ResetMessage, ConfigMessage, ResumeMessage))
+                          (ResetMessage, ConfigMessage, ResumeMessage,
+                           HelloMessage, HelloAckMessage,
+                           VersionSwitchMessage))
 
 
 class TestMalformed:

@@ -73,6 +73,81 @@ class TestRoundTrip:
         assert decoded.quack().count == len(values) % (1 << 16)
 
 
+class TestVersionedCheckpoints:
+    """Checkpoint v2: negotiated session state survives the restart."""
+
+    def test_v2_round_trips_negotiated_state(self):
+        checkpoint = make_checkpoint()
+        negotiated = EmitterCheckpoint(
+            flow_id=checkpoint.flow_id, epoch=checkpoint.epoch,
+            taken_at=checkpoint.taken_at, frame=checkpoint.frame,
+            wire_version=2, features=0x07)
+        decoded = decode_checkpoint(encode_checkpoint(negotiated))
+        assert decoded == negotiated
+        assert decoded.wire_version == 2
+        assert decoded.features == 0x07
+
+    def test_v1_checkpoint_restores_an_unnegotiated_session(self):
+        blob = encode_checkpoint(make_checkpoint(), version=1)
+        decoded = decode_checkpoint(blob)
+        assert decoded.wire_version == 1
+        assert decoded.features == 0
+
+    def test_encode_picks_the_version_automatically(self):
+        plain = make_checkpoint()
+        negotiated = EmitterCheckpoint(
+            flow_id=plain.flow_id, epoch=plain.epoch,
+            taken_at=plain.taken_at, frame=plain.frame,
+            wire_version=2, features=0x07)
+        assert encode_checkpoint(plain)[2] == 1
+        assert encode_checkpoint(negotiated)[2] == 2
+
+    def test_v2_costs_exactly_two_bytes(self):
+        checkpoint = make_checkpoint()
+        v1 = encode_checkpoint(checkpoint, version=1)
+        v2 = encode_checkpoint(checkpoint, version=2)
+        assert len(v2) == len(v1) + 2
+
+    def test_v1_refuses_to_drop_negotiated_state(self):
+        checkpoint = make_checkpoint()
+        negotiated = EmitterCheckpoint(
+            flow_id=checkpoint.flow_id, epoch=checkpoint.epoch,
+            taken_at=checkpoint.taken_at, frame=checkpoint.frame,
+            wire_version=2, features=0x07)
+        with pytest.raises(WireFormatError, match="needs version >= 2"):
+            encode_checkpoint(negotiated, version=1)
+
+    def test_unsupported_version_names_format_and_range(self):
+        with pytest.raises(WireFormatError,
+                           match=r"checkpoint: unsupported version 7 "
+                                 r"\(supported 1\.\.2\)"):
+            encode_checkpoint(make_checkpoint(), version=7)
+
+    def test_v2_restored_accumulator_matches(self):
+        checkpoint = make_checkpoint(values=(5, 6, 7))
+        negotiated = EmitterCheckpoint(
+            flow_id=checkpoint.flow_id, epoch=checkpoint.epoch,
+            taken_at=checkpoint.taken_at, frame=checkpoint.frame,
+            wire_version=2, features=0x03)
+        restored = decode_checkpoint(encode_checkpoint(negotiated)).quack()
+        assert restored.count == 3
+
+    def test_every_v2_truncation_and_bit_flip_fails(self):
+        checkpoint = make_checkpoint()
+        blob = encode_checkpoint(EmitterCheckpoint(
+            flow_id=checkpoint.flow_id, epoch=checkpoint.epoch,
+            taken_at=checkpoint.taken_at, frame=checkpoint.frame,
+            wire_version=2, features=0x07))
+        for cut in range(len(blob)):
+            with pytest.raises(WireFormatError):
+                decode_checkpoint(blob[:cut])
+        for position in range(len(blob) * 8):
+            mangled = bytearray(blob)
+            mangled[position // 8] ^= 1 << (position % 8)
+            with pytest.raises(WireFormatError):
+                decode_checkpoint(bytes(mangled))
+
+
 class TestMalformed:
     def test_every_truncation_fails(self):
         blob = encode_checkpoint(make_checkpoint())

@@ -1,0 +1,25 @@
+"""The checked-in conformance vectors stay fresh and pass execution.
+
+Mirrors the CI ``vectors-freshness`` job: regenerating the vectors must
+be a byte-for-byte no-op, and every vector must execute against the real
+codecs (round trips for the well-formed suites, WireFormatError with the
+pinned message substring for the malformed suite).
+"""
+
+from repro import vectors
+
+
+class TestCheckedInVectors:
+    def test_vectors_are_fresh_and_conformant(self):
+        assert vectors.check(vectors.DEFAULT_DIR) == []
+
+    def test_every_suite_is_present_and_non_trivial(self):
+        built = vectors.build_vectors()
+        assert set(built) == set(vectors.SUITES)
+        for suite, entries in built.items():
+            assert len(entries) >= 2, suite
+
+    def test_generation_is_deterministic(self):
+        first = vectors.build_vectors()
+        second = vectors.build_vectors()
+        assert first == second
