@@ -82,6 +82,37 @@ def test_disabled_tracing_adds_no_measurable_overhead():
         f"within {MAX_OVERHEAD_FACTOR}x")
 
 
+def test_disabled_context_stamping_adds_no_measurable_overhead():
+    """The sender's trace-context stamp must be free while tracing is off.
+
+    The send hot path gained ``if obs.TRACER.enabled: packet.trace_ctx =
+    packet.uid`` (transport/connection.py); with tracing disabled that is
+    one attribute load plus a falsy branch per datagram.  Compare packet
+    construction with the guarded stamp against bare construction.
+    """
+    from repro.netsim.packet import Packet
+
+    def bare():
+        for _ in range(200):
+            Packet(src="a", dst="b", size_bytes=1460)
+
+    def stamped():
+        for _ in range(200):
+            packet = Packet(src="a", dst="b", size_bytes=1460)
+            if obs.TRACER.enabled:
+                packet.trace_ctx = packet.uid
+
+    baseline = measure(bare, trials=TRIALS)
+    instrumented = measure(stamped, trials=TRIALS)
+
+    factor = instrumented.median / baseline.median
+    assert factor <= MAX_OVERHEAD_FACTOR, (
+        f"disabled context stamping is {factor:.2f}x bare packet "
+        f"construction ({instrumented.median * 1e6:.0f} µs vs "
+        f"{baseline.median * 1e6:.0f} µs per 200 packets); the disabled "
+        f"path must stay within {MAX_OVERHEAD_FACTOR}x")
+
+
 def test_enabled_profiling_actually_records():
     """Sanity inverse: with obs on, the same decode produces span data."""
     workload = make_workload(n=400, num_missing=10, bits=32, seed=1)

@@ -395,6 +395,35 @@ def record(directory: str, areas: Iterable[str] | None = None,
     return snapshots
 
 
+def _flatten_telemetry(telemetry: Mapping) -> dict[str, float]:
+    """Scalar bench metrics from a merged telemetry snapshot.
+
+    Counters/gauges flatten to one sample per series; histogram series
+    flatten to their count plus exact-to-bucket p50/p99.  Keys look like
+    ``telemetry_quack_decodes_total{status=ok}`` so they stay unique per
+    label set.  Everything is virtual-time derived, hence ``info``.
+    """
+    from repro.obs.aggregate import summarize_snapshot
+
+    flat: dict[str, float] = {}
+    for name, series in summarize_snapshot(dict(telemetry)).items():
+        for entry in series:
+            labels = entry.get("labels", {})
+            tag = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+            base = f"telemetry_{name}" + (f"{{{tag}}}" if tag else "")
+            if "value" in entry:
+                stats = {"": entry["value"]}
+            else:
+                stats = {"_count": entry["count"], "_p50": entry["p50"],
+                         "_p99": entry["p99"]}
+            for suffix, value in stats.items():
+                if isinstance(value, bool) \
+                        or not isinstance(value, (int, float)):
+                    continue
+                flat[base + suffix] = float(value)
+    return flat
+
+
 def snapshot_from_sweep(aggregate: Mapping,
                         quick: bool = False) -> BenchSnapshot:
     """Flatten a sweep aggregate into a bench snapshot.
@@ -437,6 +466,11 @@ def snapshot_from_sweep(aggregate: Mapping,
         metrics[key] = Metric(name=key, mean=mean,
                               stdev=variance ** 0.5, n=len(values),
                               direction="info")
+    telemetry = aggregate.get("telemetry")
+    if telemetry:
+        for key, value in sorted(_flatten_telemetry(telemetry).items()):
+            metrics[key] = Metric(name=key, mean=value, n=1,
+                                  direction="info")
     summary = aggregate.get("summary", {})
     metrics["sweep_failed_cells"] = Metric(
         name="sweep_failed_cells",

@@ -33,6 +33,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro import obs
 from repro.chaos.adversary import (
     EquivocationAdversary,
     ForgedPowerSumAdversary,
@@ -423,7 +424,7 @@ def run_chaos_transfer(setup: ChaosSetup, *,
     if setup.negotiate:
         baseline_slack = (8 * (sidecar.handshake_bytes + 256)
                           / bandwidth_bps) + 2e-3
-    return ChaosResult(
+    result = ChaosResult(
         plan=setup.name,
         seed=seed,
         total_bytes=total_bytes,
@@ -461,6 +462,18 @@ def run_chaos_transfer(setup: ChaosSetup, *,
         expect_no_resets=setup.expect_no_resets,
         link_drops=link_drops,
     )
+    if obs.FLIGHT.armed:
+        violations = result.violations()
+        if violations:
+            # Snapshot the trace ring (and the implicated packet's span
+            # tree) the moment the failure is known, before the caller's
+            # next run overwrites the evidence.
+            obs.FLIGHT.trigger(
+                "invariant-failure", scenario=setup.name, time=sim.now,
+                detail=f"{len(violations)} invariant violation(s)",
+                extra_records=[{"kind": "invariant-violation", "text": text}
+                               for text in violations])
+    return result
 
 
 # -- named plans ----------------------------------------------------------------

@@ -22,7 +22,11 @@ Subcommands:
   threshold-based regression verdict (exit status 1 on regression);
 * ``sweep``         -- expand a scenario-matrix spec into seeded cells,
   shard them across worker processes, and write one aggregate artifact
-  (exit status 1 if any cell exhausted its retries);
+  (exit status 1 if any cell exhausted its retries); ``--telemetry``
+  merges every worker's metrics into a sweep-wide telemetry block;
+* ``slo``           -- evaluate declarative tail-latency budgets
+  (``benchmarks/slo/*.json``) against freshly run scenarios or a saved
+  telemetry snapshot (exit status 1 when a budget is violated);
 * ``vectors``       -- regenerate or validate the checked-in wire-format
   conformance vectors (``tests/vectors/*.json``; exit status 1 when a
   vector is stale or fails against the implementation).
@@ -45,6 +49,10 @@ Examples::
         --workers 4 --output sweep.json
     python -m repro sweep examples/sweeps/retx_loss_delay.json \\
         --resume sweep.json --output sweep.json
+    python -m repro chaos all --flight-dir /tmp/flight
+    python -m repro trace retransmission --filter sidecar. --summary
+    python -m repro analyze trace.jsonl --spans
+    python -m repro slo benchmarks/slo/seed_scenarios.json
     python -m repro vectors generate
     python -m repro vectors check
 """
@@ -235,14 +243,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"error: unknown chaos plan {args.which!r} "
               f"(--list-plans shows them)", file=sys.stderr)
         sys.exit(2)
+    flight = bool(args.flight_dir)
+    if flight:
+        from repro import obs
+
+        # Arm the black box: trace every plan so an invariant failure
+        # dumps the ring plus the implicated packet's span tree.
+        obs.FLIGHT.configure(args.flight_dir)
+        obs.reset()
+        obs.enable(profile=False)
     failures = 0
-    for name in plans:
-        result = run_plan(name, seed=args.seed, total_bytes=args.total)
-        print(format_result(result))
-        if len(plans) > 1:
-            print("-" * 60)
-        if not result.ok:
-            failures += 1
+    try:
+        for name in plans:
+            if flight:
+                obs.reset()
+            result = run_plan(name, seed=args.seed, total_bytes=args.total)
+            print(format_result(result))
+            if len(plans) > 1:
+                print("-" * 60)
+            if not result.ok:
+                failures += 1
+    finally:
+        if flight:
+            obs.disable()
+            obs.FLIGHT.disarm()
+            for path in obs.FLIGHT.dumps:
+                print(f"flight recorder: wrote {path}", file=sys.stderr)
     if failures:
         print(f"error: {failures} of {len(plans)} chaos plans violated "
               f"invariants", file=sys.stderr)
@@ -258,17 +284,24 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     result = run_traced(args.which, seed=args.seed, total_bytes=args.total,
                         loss=args.loss, capacity=args.capacity)
+    if args.filter:
+        prefixes = tuple(args.filter)
+        result.events = [event for event in result.events
+                         if event.type.startswith(prefixes)]
     if args.jsonl:
         obs.export_jsonl(result.events, args.jsonl)
         print(f"wrote {len(result.events)} events to {args.jsonl}",
               file=sys.stderr)
     if args.summary or not args.jsonl:
         print(summarize(result))
-    missing = result.missing_core_components()
-    if missing:
-        print(f"error: no trace events from: {', '.join(missing)}",
-              file=sys.stderr)
-        return 1
+    if not args.filter:
+        # A filtered view legitimately silences components; the
+        # everything-instrumented check only applies to full traces.
+        missing = result.missing_core_components()
+        if missing:
+            print(f"error: no trace events from: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -282,6 +315,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
         return 2
+    if args.filter:
+        prefixes = tuple(args.filter)
+        trace.records = [record for record in trace.records
+                         if str(record.get("type", "")).startswith(prefixes)]
+    if args.spans:
+        from repro.obs.causal import build_span_trees, format_causal_summary
+
+        print(format_causal_summary(build_span_trees(trace.records)))
+        if trace.malformed:
+            print(f"warning: skipped {trace.malformed} malformed lines",
+                  file=sys.stderr)
+        return 0
     analysis = analyze(trace)
     flows = args.flow if args.flow else None
     if flows:
@@ -301,6 +346,61 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(f"warning: skipped {analysis.malformed} malformed lines",
               file=sys.stderr)
     return 0
+
+
+# -- slo ------------------------------------------------------------------------
+
+def _load_slo_snapshot(path: str) -> dict:
+    """Read a saved telemetry snapshot (or a sweep aggregate's block)."""
+    import json
+
+    from repro.errors import ObservabilityError
+    from repro.obs.aggregate import merge_snapshots
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ObservabilityError(f"cannot read snapshot {path}: {exc}") \
+            from exc
+    if isinstance(doc, dict) and doc.get("kind") == "sweep-aggregate":
+        telemetry = doc.get("telemetry")
+        if not telemetry:
+            raise ObservabilityError(
+                f"{path}: sweep aggregate carries no telemetry block "
+                f"(re-run the sweep with --telemetry)")
+        doc = telemetry
+    # merge_snapshots validates the kind/schema markers on the way through.
+    return merge_snapshots([doc])
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.slo import (
+        evaluate_budgets,
+        format_verdicts,
+        load_budget_file,
+        run_scenarios,
+    )
+
+    say = (lambda message: None) if args.quiet \
+        else (lambda message: print(message, file=sys.stderr))
+    violated = False
+    try:
+        snapshot = _load_slo_snapshot(args.snapshot) if args.snapshot \
+            else None
+        for path in args.budgets:
+            doc = load_budget_file(path)
+            current = snapshot if snapshot is not None \
+                else run_scenarios(doc, progress=say)
+            verdicts = evaluate_budgets(doc["budgets"], current)
+            print(format_verdicts(path, verdicts))
+            if any(not verdict.ok for verdict in verdicts):
+                violated = True
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1 if violated else 0
 
 
 # -- bench ----------------------------------------------------------------------
@@ -361,7 +461,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             return 2
     try:
         aggregate = run_sweep(spec, workers=args.workers, resume=resume,
-                              progress=lambda m: print(m, file=sys.stderr))
+                              progress=lambda m: print(m, file=sys.stderr),
+                              telemetry=args.telemetry)
     except SweepError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -387,7 +488,21 @@ def cmd_vectors(args: argparse.Namespace) -> int:
         for path in vectors.generate(args.dir):
             print(f"wrote {path}")
         return 0
-    problems = vectors.check(args.dir)
+    flight = bool(getattr(args, "flight_dir", None))
+    if flight:
+        from repro import obs
+
+        # Vector execution decodes hostile/corrupt wire bytes; arm the
+        # flight recorder so any WireFormatError raised mid-check dumps
+        # its evidence for the CI artifact upload.
+        obs.FLIGHT.configure(args.flight_dir)
+    try:
+        problems = vectors.check(args.dir)
+    finally:
+        if flight:
+            obs.FLIGHT.disarm()
+            for path in obs.FLIGHT.dumps:
+                print(f"flight recorder: wrote {path}", file=sys.stderr)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
@@ -469,6 +584,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=1)
     chaos.add_argument("--total", type=int, default=1460 * 600,
                        help="transfer size in bytes")
+    chaos.add_argument("--flight-dir", default=None, metavar="DIR",
+                       help="arm the flight recorder: run traced and dump "
+                            "the last trace events plus the implicated "
+                            "packet's span tree to DIR on any invariant "
+                            "failure")
     chaos.set_defaults(func=cmd_chaos)
 
     from repro.obs.runner import known_scenarios
@@ -488,6 +608,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="loss rate (experiment scenarios)")
     trace.add_argument("--capacity", type=int, default=65536,
                        help="trace ring-buffer capacity in events")
+    trace.add_argument("--filter", action="append", default=[],
+                       metavar="PREFIX",
+                       help="keep only events whose type starts with "
+                            "PREFIX, e.g. 'sidecar.' or 'link.drop' "
+                            "(repeatable; ORed together)")
     trace.set_defaults(func=cmd_trace)
 
     analyze = sub.add_parser(
@@ -503,6 +628,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(repeatable)")
     analyze.add_argument("--width", type=int, default=72,
                          help="chart width in characters")
+    analyze.add_argument("--filter", action="append", default=[],
+                         metavar="PREFIX",
+                         help="keep only events whose type starts with "
+                              "PREFIX (repeatable; ORed together)")
+    analyze.add_argument("--spans", action="store_true",
+                         help="print the causal packet-lifecycle span "
+                              "summary instead of the timeline report")
     analyze.set_defaults(func=cmd_analyze)
 
     bench = sub.add_parser(
@@ -548,7 +680,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--bench-dir", default=None, metavar="DIR",
                        help="also flatten the aggregate into a "
                             "BENCH_sweep_<name>.json snapshot in DIR")
+    sweep.add_argument("--telemetry", action="store_true",
+                       help="collect per-cell metrics in the workers and "
+                            "merge them into the aggregate's sweep-wide "
+                            "telemetry block")
     sweep.set_defaults(func=cmd_sweep)
+
+    slo = sub.add_parser(
+        "slo", help="evaluate tail-latency budgets against telemetry "
+                    "(exit 1 on violation)")
+    slo.add_argument("budgets", nargs="+", metavar="BUDGET",
+                     help="slo-budgets JSON file(s), e.g. "
+                          "benchmarks/slo/*.json")
+    slo.add_argument("--snapshot", default=None, metavar="PATH",
+                     help="evaluate against a saved telemetry snapshot or "
+                          "a sweep aggregate with a telemetry block, "
+                          "instead of running the budget's scenarios")
+    slo.add_argument("--quiet", action="store_true",
+                     help="suppress per-scenario progress on stderr")
+    slo.set_defaults(func=cmd_slo)
 
     vectors = sub.add_parser(
         "vectors", help="regenerate/validate wire-format conformance "
@@ -564,6 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
     vectors_check = vectors_sub.add_parser(
         "check", help="fail if any checked-in vector is stale or the "
                       "implementation no longer conforms to it")
+    vectors_check.add_argument("--flight-dir", default=None, metavar="DIR",
+                               help="arm the flight recorder: dump ring "
+                                    "evidence to DIR on WireFormatError")
     vectors_check.add_argument("--dir", default="tests/vectors",
                                help="vector directory")
     vectors_check.set_defaults(func=cmd_vectors)

@@ -106,7 +106,7 @@ class Link:
         if obs.TRACER.enabled:
             obs.TRACER.emit("link.enqueue", self.sim.now, link=self.name,
                             kind=packet.kind.value, size=packet.size_bytes,
-                            queue=len(self._queue))
+                            queue=len(self._queue), ctx=packet.trace_ctx)
             obs.count("netsim_link_offered_total", link=self.name)
         if not self._transmitting:
             self._start_next_transmission()
@@ -175,14 +175,15 @@ class Link:
             if obs.TRACER.enabled:
                 obs.TRACER.emit("link.deliver", self.sim.now, link=self.name,
                                 kind=packet.kind.value,
-                                size=packet.size_bytes)
+                                size=packet.size_bytes,
+                                ctx=packet.trace_ctx)
                 obs.count("netsim_link_delivered_total", link=self.name)
             self.sim.schedule(delay, self.deliver, packet)
 
     def _trace_drop(self, packet: Packet, reason: str) -> None:
         obs.TRACER.emit("link.drop", self.sim.now, link=self.name,
                         kind=packet.kind.value, size=packet.size_bytes,
-                        reason=reason)
+                        reason=reason, ctx=packet.trace_ctx)
         obs.count("netsim_link_dropped_total", link=self.name, reason=reason)
 
     def __repr__(self) -> str:

@@ -94,6 +94,13 @@ class Packet:
     #: not E2E-encrypted: it is spoken hop-wise between consenting sidecars
     #: (paper, Section 2).  Always None on base-protocol packets.
     payload: Any = None
+    #: Trace-context id stamped by the sender when tracing is enabled
+    #: (None otherwise).  Deliberately *outside* the protected payload:
+    #: it models an unauthenticated debug marker (like a spin bit or a
+    #: tunnel header tag) that on-path elements may read, so lifecycle
+    #: spans can be assembled without breaking the paper's threat model.
+    #: Protocol behavior must never depend on it (DESIGN.md §13).
+    trace_ctx: int | None = None
     _protected: Any = field(default=None, repr=False)
     _key: bytes | None = field(default=None, repr=False)
 

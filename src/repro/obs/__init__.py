@@ -44,8 +44,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -66,12 +68,13 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
-    "DEFAULT_BUCKETS", "json_safe",
+    "DEFAULT_BUCKETS", "LATENCY_BUCKETS", "json_safe",
     "TraceEvent", "RingSink", "Tracer", "dump_jsonl", "export_jsonl",
     "component_tally", "format_component_tally",
-    "Profiler", "SPAN_METRIC",
-    "TRACER", "METRICS", "PROFILER",
-    "enable", "disable", "reset", "count", "gauge", "observe",
+    "Profiler", "SPAN_METRIC", "FlightRecorder",
+    "TRACER", "METRICS", "PROFILER", "FLIGHT",
+    "enable", "enable_metrics", "disable", "reset",
+    "count", "gauge", "observe",
 ]
 
 #: The process-wide trace switchboard (off until :func:`enable`).
@@ -84,6 +87,9 @@ METRICS = MetricsRegistry()
 #: The process-wide wall-clock profiler (records into :data:`METRICS`).
 PROFILER = Profiler()
 
+#: The process-wide flight recorder (disarmed until configured).
+FLIGHT = FlightRecorder()
+
 
 def enable(capacity: int = 65536, profile: bool = True) -> RingSink:
     """Turn observability on; returns the fresh trace sink."""
@@ -91,6 +97,20 @@ def enable(capacity: int = 65536, profile: bool = True) -> RingSink:
     if profile:
         PROFILER.configure(METRICS)
     return sink
+
+
+def enable_metrics(profile: bool = False) -> None:
+    """Metrics-only mode: counters/histograms record, events are dropped.
+
+    Flips ``TRACER.enabled`` without installing a sink, so every guarded
+    instrumentation point runs its metric updates while ``emit`` remains
+    a no-op -- the mode sweep workers use to feed the cross-process
+    aggregator without paying for (or shipping) an event ring.
+    """
+    TRACER.sink = None
+    TRACER.enabled = True
+    if profile:
+        PROFILER.configure(METRICS)
 
 
 def disable() -> None:

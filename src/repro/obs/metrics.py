@@ -38,6 +38,14 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 10.0,
 )
 
+#: Per-family override for virtual-time detection/repair latencies:
+#: these live at RTT scales (milliseconds to seconds), where the
+#: wall-clock default collapses everything past 1 s into one bucket.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+    1.0, 1.5, 2.0, 3.0, 5.0, 10.0,
+)
+
 
 def json_safe(value: object) -> object:
     """Return ``value`` with non-finite floats replaced by None.
@@ -128,7 +136,14 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket upper bounds (q in [0, 1])."""
+        """Exact-to-bucket quantile: the upper bound of the bucket the
+        rank lands in (q in [0, 1]).
+
+        When the rank lands in the overflow bucket (beyond the last
+        configured bound) there is no configured upper bound; the
+        observed maximum is the tightest upper bound available, clamped
+        so the result never regresses below the last finite bound.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
@@ -139,7 +154,7 @@ class Histogram:
             seen += self.counts[index]
             if seen >= rank:
                 return bound
-        return self.maximum
+        return max(self.maximum, self.buckets[-1])
 
     def snapshot(self) -> dict:
         return {
@@ -149,7 +164,25 @@ class Histogram:
             "min": json_safe(self.minimum if self.count else None),
             "max": json_safe(self.maximum if self.count else None),
             "p50": json_safe(self.quantile(0.5)),
+            "p90": json_safe(self.quantile(0.9)),
             "p99": json_safe(self.quantile(0.99)),
+            "p999": json_safe(self.quantile(0.999)),
+        }
+
+    def to_mergeable(self) -> dict:
+        """The full bucket state, sufficient to merge with a peer.
+
+        Unlike :meth:`snapshot` (which collapses to summary statistics),
+        this keeps per-bucket counts so histograms recorded in separate
+        processes can be added bucket-wise (``repro.obs.aggregate``).
+        """
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": json_safe(self.sum),
+            "count": self.count,
+            "min": json_safe(self.minimum if self.count else None),
+            "max": json_safe(self.maximum if self.count else None),
         }
 
     def reset(self) -> None:
@@ -231,6 +264,14 @@ class MetricsRegistry:
                 f"metric {name!r} already registered as {family.kind} with "
                 f"labels {family.labelnames}; asked for {kind} with "
                 f"{tuple(labels)}")
+        if kind == "histogram":
+            asked = tuple(sorted(float(b) for b in buckets))
+            if tuple(sorted(family.buckets)) != asked:
+                raise ObservabilityError(
+                    f"histogram {name!r} already registered with buckets "
+                    f"{family.buckets}; asked for {asked} -- per-family "
+                    f"bucket overrides must be consistent across call "
+                    f"sites (mixed buckets cannot be merged)")
         return family
 
     def counter(self, name: str, help: str = "",

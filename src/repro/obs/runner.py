@@ -113,17 +113,20 @@ def _run_scenario(scenario: str, *, seed: int, total_bytes: int, loss: float,
 
 def summarize(result: TraceRunResult) -> str:
     """The ``--summary`` text: trace tallies above the metrics table."""
+    ratio = (result.events_dropped / result.events_emitted
+             if result.events_emitted else 0.0)
     lines = [
         f"scenario: {result.scenario} (seed {result.seed})",
         f"trace: {len(result.events)} events buffered "
         f"({result.events_emitted} emitted, {result.events_dropped} "
-        f"dropped by the ring)",
+        f"dropped by the ring, drop ratio {ratio:.4f})",
     ]
     if result.events_dropped:
         lines.append(
-            f"WARNING: ring buffer truncated the trace "
-            f"({result.events_dropped} oldest events dropped); analyses of "
-            f"this trace are incomplete")
+            f"WARNING: ring buffer truncated the trace -- dropped/emitted "
+            f"= {result.events_dropped}/{result.events_emitted} "
+            f"({ratio:.1%}); the oldest events are gone and analyses of "
+            f"this trace are incomplete (raise --capacity)")
     components = result.components()
     if components:
         lines.append("events by component: "

@@ -40,7 +40,12 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     "fault.activate": {"injector": STRING, "kind": STRING,
                        "effect": STRING},
     # -- transport ------------------------------------------------------
+    # Lifecycle events carry an optional ``ctx`` (the trace-context id
+    # stamped on the datagram, see DESIGN.md §13); it is not required so
+    # traces from runs without context stamping stay valid.
     "transport.send": {"flow": STRING, "pn": NUMBER, "size": NUMBER},
+    # The receiver accepted a new (non-duplicate) data packet.
+    "transport.deliver": {"flow": STRING, "pn": NUMBER},
     # ``cause`` attributes the retransmission to its loss-detection path
     # (quack = sidecar decode, ack = e2e ACK evidence, pto = probe
     # timeout); ``latency`` is the virtual time from the original
@@ -60,7 +65,15 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     "quack.encode": {"scheme": STRING, "bytes": NUMBER},
     "quack.decode": {"status": STRING, "missing": NUMBER},
     # -- sidecar --------------------------------------------------------
+    # A middlebox emitter folded one datagram into its power sums.
+    # ``ctx`` is the packet's trace-context id (null when the datagram
+    # was sent without one, e.g. control traffic).
+    "sidecar.mb_observe": {"flow": STRING, "ctx": NUMBER},
     "sidecar.quack_emit": {"role": STRING, "flow": STRING, "epoch": NUMBER},
+    # A quACK decode declared one specific buffered packet missing (the
+    # per-packet companion to the flow-level ``quack.decode``).
+    "sidecar.gap_detect": {"flow": STRING, "ctx": NUMBER,
+                           "latency": NUMBER},
     # A PEP-to-PEP local repair (Section 2.3): always quACK-caused, with
     # the same detection-latency semantics as ``transport.retransmit``.
     "sidecar.retransmit": {"flow": STRING, "cause": STRING,
@@ -87,6 +100,15 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     # Post-resume reconciliation: packets retired from the sender sums
     # because they were confirmed pre-crash (checkpoint gap), not lost.
     "sidecar.gap_reconciled": {"flow": STRING, "packets": NUMBER},
+    # -- sidecar version negotiation (DESIGN.md §12) --------------------
+    "sidecar.hello": {"flow": STRING, "max_version": NUMBER,
+                      "attempt": NUMBER},
+    "sidecar.negotiated": {"flow": STRING, "role": STRING,
+                           "version": NUMBER, "features": NUMBER},
+    "sidecar.version_switch": {"flow": STRING, "role": STRING,
+                               "version": NUMBER, "epoch": NUMBER},
+    "sidecar.stale_version": {"flow": STRING, "got": NUMBER,
+                              "expected": NUMBER},
 }
 
 #: Components an end-to-end traced scenario must touch (the acceptance

@@ -360,7 +360,9 @@ class HostEmitterAgent(_EmitterMixin):
     def _observe(self, packet: Packet) -> None:
         if packet.flow_id != self.flow_id or packet.identifier is None:
             return
-        snapshot = self.emitter.observe(packet.identifier, self.sim.now)
+        snapshot = self.emitter.observe(packet.identifier, self.sim.now,
+                                        ctx=packet.trace_ctx,
+                                        flow=self.flow_id)
         if snapshot is not None:
             self._send(snapshot)
 
@@ -638,6 +640,9 @@ class ServerSidecar:
                 obs.TRACER.emit("sidecar.wire_error", self.sim.now,
                                 flow=self.sender.flow_id)
                 obs.count("sidecar_wire_errors_total")
+            if obs.FLIGHT.armed:
+                obs.FLIGHT.trigger("wire-error", time=self.sim.now,
+                                   detail=f"flow={self.sender.flow_id}")
             self._note_health_failure("corrupt frame")
             return
         except (QuackError, TypeError):
@@ -1157,7 +1162,9 @@ class ProxyEmitterTap(_EmitterMixin):
                 or packet.flow_id != self.flow_id
                 or packet.identifier is None):
             return
-        snapshot = self.emitter.observe(packet.identifier, self.sim.now)
+        snapshot = self.emitter.observe(packet.identifier, self.sim.now,
+                                        ctx=packet.trace_ctx,
+                                        flow=self.flow_id)
         if snapshot is not None:
             self._send(snapshot)
 

@@ -164,7 +164,9 @@ class PacingProxy:
                                       now)
             self.router.emit(head)
             self.stats.forwarded += 1
-            snapshot = self.emitter.observe(head.identifier, now)
+            snapshot = self.emitter.observe(head.identifier, now,
+                                            ctx=head.trace_ctx,
+                                            flow=self.flow_id)
             if snapshot is not None:
                 if obs.TRACER.enabled:
                     obs.TRACER.emit("sidecar.quack_emit", now, role="proxy",

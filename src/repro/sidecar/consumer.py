@@ -121,10 +121,19 @@ class QuackConsumer:
     # -- the decode pipeline ---------------------------------------------------
 
     @staticmethod
-    def _trace_decode(now: float, status: DecodeStatus, missing: int) -> None:
+    def _trace_decode(now: float, status: DecodeStatus, missing: int,
+                      declared_lost: int = 0, in_transit: int = 0) -> None:
+        """Emit the flow-level decode event.
+
+        ``declared_lost``/``in_transit`` are optional extras (the schema
+        requires only status/missing): how many buffered packets this
+        decode actually struck out versus held back as still in flight --
+        the numbers the SLO decode-failure budgets aggregate.
+        """
         if obs.TRACER.enabled:
             obs.TRACER.emit("quack.decode", now, status=status.value,
-                            missing=missing)
+                            missing=missing, declared_lost=declared_lost,
+                            in_transit=in_transit)
             obs.count("quack_decodes_total", status=status.value)
 
     def on_quack(self, theirs: PowerSumQuack, now: float) -> QuackFeedback:
@@ -241,7 +250,9 @@ class QuackConsumer:
         # The truncated suffix stays in the log untouched.
         survivors.extend(self.log[len(kept):])
         self.log = survivors
-        self._trace_decode(now, DecodeStatus.OK, result.num_missing)
+        self._trace_decode(now, DecodeStatus.OK, result.num_missing,
+                           declared_lost=len(feedback.lost),
+                           in_transit=feedback.in_transit)
         return feedback
 
     @staticmethod

@@ -119,7 +119,9 @@ class DiscoveringProxy:
             self._send_offer(packet.flow_id, flow)
         if flow.accepted and flow.emitter is not None \
                 and packet.dst == flow.data_receiver:
-            snapshot = flow.emitter.observe(packet.identifier, self.sim.now)
+            snapshot = flow.emitter.observe(packet.identifier, self.sim.now,
+                                            ctx=packet.trace_ctx,
+                                            flow=packet.flow_id)
             if snapshot is not None:
                 flow.quacks_sent += 1
                 self.router.send(quack_packet(

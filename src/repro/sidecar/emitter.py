@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.obs import PROFILER
 from repro.quack.power_sum import PowerSumQuack
 from repro.sidecar.frequency import FrequencyPolicy, PacketCountFrequency
@@ -38,12 +39,23 @@ class QuackEmitter:
         self._packets_since_emit = 0
         self._last_emit = 0.0
 
-    def observe(self, identifier: int, now: float) -> PowerSumQuack | None:
-        """Fold one identifier in; returns a snapshot if one is due now."""
+    def observe(self, identifier: int, now: float, *,
+                ctx: int | None = None,
+                flow: str | None = None) -> PowerSumQuack | None:
+        """Fold one identifier in; returns a snapshot if one is due now.
+
+        ``ctx``/``flow`` are purely observational: when the datagram
+        carried a trace-context id, the middlebox observation point is
+        recorded as a ``sidecar.mb_observe`` lifecycle event.  Neither
+        influences the power sums.
+        """
         started = PROFILER.begin()
         self.quack.insert(identifier)
         if started:
             PROFILER.end("quack.power_sum_update", started)
+        if obs.TRACER.enabled and ctx is not None:
+            obs.TRACER.emit("sidecar.mb_observe", now,
+                            flow=flow if flow is not None else "?", ctx=ctx)
         self.stats.observed += 1
         self._packets_since_emit += 1
         if self.policy.on_packet(self._packets_since_emit, now,

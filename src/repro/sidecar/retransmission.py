@@ -114,10 +114,22 @@ class SenderSideRetxProxy:
                                       self.sim.now)
             self.stats.retransmitted += 1
             if obs.TRACER.enabled:
+                latency = self.sim.now - lost_packet.created_at
+                # The decode just declared this specific buffered packet
+                # missing: the per-packet gap-detection lifecycle stage.
+                obs.TRACER.emit("sidecar.gap_detect", self.sim.now,
+                                flow=self.flow_id,
+                                ctx=lost_packet.trace_ctx,
+                                latency=latency)
+                # Local repair re-emits the *same* datagram, so the span
+                # keeps its context id across the retransmission.
                 obs.TRACER.emit("sidecar.retransmit", self.sim.now,
                                 flow=self.flow_id, cause="quack",
-                                latency=self.sim.now - lost_packet.created_at)
+                                latency=latency,
+                                ctx=lost_packet.trace_ctx)
                 obs.count("sidecar_retransmissions_total", cause="quack")
+                obs.observe("sidecar_repair_latency_seconds", latency,
+                            buckets=obs.LATENCY_BUCKETS, cause="quack")
             self.router.emit(lost_packet)
 
     def observed_loss_ratio(self) -> float:
@@ -172,7 +184,9 @@ class ReceiverSideRetxProxy:
         if (packet.kind is PacketKind.DATA and packet.dst == self.client
                 and packet.flow_id == self.flow_id
                 and packet.identifier is not None):
-            snapshot = self.emitter.observe(packet.identifier, self.sim.now)
+            snapshot = self.emitter.observe(packet.identifier, self.sim.now,
+                                            ctx=packet.trace_ctx,
+                                            flow=self.flow_id)
             if snapshot is not None:
                 self.quacks_sent += 1
                 if obs.TRACER.enabled:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.errors import SweepError, SweepResumeError
+from repro.obs.aggregate import merge_snapshots
 from repro.sweep.spec import SWEEP_SCHEMA_VERSION, SweepSpec
 
 #: How a finished cell ended up.
@@ -49,6 +50,8 @@ class CellOutcome:
     error: str | None = None
     error_kind: str | None = None
     wall_time_s: float = 0.0
+    #: Mergeable metrics snapshot from the worker (``--telemetry`` runs).
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -67,6 +70,8 @@ class CellOutcome:
         if self.status == CELL_FAILED:
             record["error"] = self.error
             record["error_kind"] = self.error_kind
+        if self.telemetry is not None:
+            record["telemetry"] = self.telemetry
         return record
 
     @classmethod
@@ -82,6 +87,7 @@ class CellOutcome:
                 error=record.get("error"),
                 error_kind=record.get("error_kind"),
                 wall_time_s=float(record.get("wall_time_s", 0.0)),
+                telemetry=record.get("telemetry"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SweepError(f"malformed cell record {record!r}: {exc}") \
@@ -107,10 +113,29 @@ class SweepAggregate:
     def ok(self) -> bool:
         return not self.failed_cells
 
+    @property
+    def telemetry(self) -> dict | None:
+        """Sweep-wide telemetry: every cell's snapshot merged into one.
+
+        ``None`` unless the sweep ran with telemetry collection on.
+        Merging is commutative and series come out sorted, so this block
+        is as deterministic as the cell results themselves and survives
+        :func:`strip_timing`.
+        """
+        per_cell = [cell.telemetry for cell in self.cells
+                    if cell.telemetry is not None]
+        if not per_cell:
+            return None
+        return merge_snapshots(per_cell)
+
     def to_dict(self) -> dict:
         """The artifact: deterministic body plus a ``timing`` block."""
         cells = sorted(self.cells, key=lambda cell: cell.index)
         retried = sum(1 for cell in cells if cell.attempts > 1)
+        telemetry = self.telemetry
+        # Resume can mix telemetry-bearing fresh cells with carried-over
+        # cells that have none; the count makes partial coverage visible.
+        covered = sum(1 for cell in cells if cell.telemetry is not None)
         return {
             "schema": self.schema,
             "kind": "sweep-aggregate",
@@ -129,7 +154,9 @@ class SweepAggregate:
                 "ok": sum(1 for cell in cells if cell.ok),
                 "failed": sum(1 for cell in cells if not cell.ok),
                 "retried": retried,
+                **({"telemetry_cells": covered} if covered else {}),
             },
+            **({"telemetry": telemetry} if telemetry is not None else {}),
             "timing": {
                 "recorded_at": self.recorded_at,
                 "wall_time_s": self.wall_time_s,

@@ -41,6 +41,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Mapping
 
 from repro import obs
+from repro.obs.aggregate import mergeable_snapshot
 from repro.sweep.artifact import (
     CELL_FAILED,
     CELL_OK,
@@ -65,12 +66,30 @@ def default_workers() -> int:
 
 
 def _execute_cell(scenario: str, params: dict, seed: int,
-                  attempt: int) -> dict:
-    """Worker-side entry point; must stay module-level (picklable)."""
+                  attempt: int, telemetry: bool = False) -> dict:
+    """Worker-side entry point; must stay module-level (picklable).
+
+    With ``telemetry`` on, the cell runs in metrics-only observability
+    mode (:func:`repro.obs.enable_metrics`: guarded counters and
+    histograms record, trace events are dropped) and the payload gains
+    a ``"telemetry"`` key carrying the worker registry frozen into the
+    mergeable form of :func:`repro.obs.aggregate.mergeable_snapshot`.
+    """
     start = time.perf_counter()
-    result = run_cell(scenario, params, seed, attempt)
-    return {"result": _json_sanitize(result),
-            "wall_time_s": time.perf_counter() - start}
+    if telemetry:
+        obs.reset()
+        obs.enable_metrics()
+    try:
+        result = run_cell(scenario, params, seed, attempt)
+    finally:
+        if telemetry:
+            obs.disable()
+    payload = {"result": _json_sanitize(result),
+               "wall_time_s": time.perf_counter() - start}
+    if telemetry:
+        payload["telemetry"] = mergeable_snapshot(obs.METRICS)
+        obs.METRICS.reset()
+    return payload
 
 
 def _json_sanitize(value):
@@ -100,7 +119,8 @@ class _CellTracker:
             seed=self.cell.seed, status=CELL_OK,
             attempts=self.attempts_used,
             result=payload["result"],
-            wall_time_s=float(payload["wall_time_s"]))
+            wall_time_s=float(payload["wall_time_s"]),
+            telemetry=payload.get("telemetry"))
         return self.outcome
 
     def fail(self, error: str, error_kind: str) -> CellOutcome:
@@ -114,8 +134,8 @@ class _CellTracker:
 
 def run_sweep(spec: SweepSpec, *, workers: int | None = None,
               resume: Mapping | None = None,
-              progress: Callable[[str], None] | None = None
-              ) -> SweepAggregate:
+              progress: Callable[[str], None] | None = None,
+              telemetry: bool = False) -> SweepAggregate:
     """Run every cell of ``spec`` and aggregate the outcomes.
 
     ``workers`` overrides (in precedence order) the spec's ``workers``
@@ -123,7 +143,11 @@ def run_sweep(spec: SweepSpec, *, workers: int | None = None,
     aggregate dict (see :func:`repro.sweep.artifact.load_aggregate_dict`)
     whose ``ok`` cells are carried over instead of re-run; it must stem
     from a spec with the same fingerprint.  ``progress`` receives
-    one-line status strings as cells finish.
+    one-line status strings as cells finish.  ``telemetry`` runs every
+    cell in metrics-only observability mode and merges the per-worker
+    snapshots into the aggregate's sweep-wide ``telemetry`` block (see
+    :mod:`repro.obs.aggregate`); virtual-time determinism makes the
+    merged block identical across worker counts.
     """
     started = time.perf_counter()
     if spec.scenario not in known_scenarios():
@@ -149,9 +173,10 @@ def run_sweep(spec: SweepSpec, *, workers: int | None = None,
 
     say = progress if progress is not None else (lambda message: None)
     if effective_workers == 1 or len(todo) <= 1:
-        outcomes = _run_serial(spec, todo, say)
+        outcomes = _run_serial(spec, todo, say, telemetry)
     else:
-        outcomes = _run_parallel(spec, todo, effective_workers, say)
+        outcomes = _run_parallel(spec, todo, effective_workers, say,
+                                 telemetry)
 
     outcomes.update(carried)
     ordered = [outcomes[cell.index] for cell in cells]
@@ -183,7 +208,8 @@ def _backoff_s(spec: SweepSpec, attempts_used: int) -> float:
 # -- serial ------------------------------------------------------------------
 
 def _run_serial(spec: SweepSpec, todo: list[SweepCell],
-                say: Callable[[str], None]) -> dict[int, CellOutcome]:
+                say: Callable[[str], None],
+                telemetry: bool = False) -> dict[int, CellOutcome]:
     """The reference execution: index order, in-process, still retrying."""
     outcomes: dict[int, CellOutcome] = {}
     for cell in todo:
@@ -192,7 +218,8 @@ def _run_serial(spec: SweepSpec, todo: list[SweepCell],
             tracker.attempts_used += 1
             try:
                 payload = _execute_cell(spec.scenario, dict(cell.params),
-                                        cell.seed, tracker.attempts_used - 1)
+                                        cell.seed, tracker.attempts_used - 1,
+                                        telemetry)
             except Exception as exc:  # noqa: BLE001 - recorded, not hidden
                 _retry_or_fail(spec, tracker,
                                f"{type(exc).__name__}: {exc}",
@@ -227,14 +254,16 @@ class _Pool:
     built; abandoned futures are resubmitted by the caller.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, telemetry: bool = False) -> None:
         self.workers = workers
+        self.telemetry = telemetry
         self.executor = ProcessPoolExecutor(max_workers=workers)
 
     def submit(self, spec: SweepSpec, cell: SweepCell,
                attempt: int) -> Future:
         return self.executor.submit(_execute_cell, spec.scenario,
-                                    dict(cell.params), cell.seed, attempt)
+                                    dict(cell.params), cell.seed, attempt,
+                                    self.telemetry)
 
     def rebuild(self) -> None:
         self.executor.shutdown(wait=False, cancel_futures=True)
@@ -245,14 +274,15 @@ class _Pool:
 
 
 def _run_parallel(spec: SweepSpec, todo: list[SweepCell], workers: int,
-                  say: Callable[[str], None]) -> dict[int, CellOutcome]:
+                  say: Callable[[str], None],
+                  telemetry: bool = False) -> dict[int, CellOutcome]:
     outcomes: dict[int, CellOutcome] = {}
     trackers = {cell.index: _CellTracker(cell) for cell in todo}
     #: Cells waiting for (re)submission: (eligible_monotonic, index).
     queue: list[tuple[float, int]] = [(0.0, cell.index) for cell in todo]
     #: In-flight futures -> (index, submitted_monotonic).
     running: dict[Future, tuple[int, float]] = {}
-    pool = _Pool(workers)
+    pool = _Pool(workers, telemetry)
     obs.gauge("sweep_workers", workers)
 
     def submit_ready() -> None:

@@ -83,6 +83,10 @@ class SentPacketRecord:
     retired: bool = False
     #: True once the congestion controller was credited for this packet.
     cc_credited: bool = False
+    #: Trace-context id stamped on the packet at transmit time (tracing
+    #: enabled only); lets loss/retransmit events point back at the
+    #: original datagram's lifecycle span.
+    trace_ctx: int | None = None
 
 
 @dataclass
@@ -159,10 +163,12 @@ class SenderConnection:
 
         self._next_packet_number = 0
         self._next_offset = 0
-        #: (offset, length, cause, detect_latency): what to resend, why the
-        #: loss was declared (quack/ack/pto), and the virtual time between
-        #: the original transmission and the declaration.
-        self._retx_queue: list[tuple[int, int, str, float]] = []
+        #: (offset, length, cause, detect_latency, parent_ctx): what to
+        #: resend, why the loss was declared (quack/ack/pto), the virtual
+        #: time between the original transmission and the declaration,
+        #: and the lost packet's trace-context id (None untraced) so the
+        #: retransmission's span links to its parent.
+        self._retx_queue: list[tuple[int, int, str, float, int | None]] = []
         self._pacing_handle: EventHandle | None = None
         self._next_send_allowed = 0.0
         self._pto_handle: EventHandle | None = None
@@ -236,6 +242,9 @@ class SenderConnection:
             packet_number=pn, offset=0, length=0, size_bytes=size,
             time_sent=self.sim.now, identifier=identifier,
         )
+        if obs.TRACER.enabled:
+            packet.trace_ctx = packet.uid
+            record.trace_ctx = packet.uid
         self.host.send(packet, via=self.via)
         for listener in self._send_listeners:
             listener(record)
@@ -338,16 +347,16 @@ class SenderConnection:
         self._pacing_handle = None
         self._maybe_send()
 
-    def _next_chunk(self) -> tuple[int, int, tuple[str, float] | None] | None:
+    def _next_chunk(self) -> tuple[int, int, tuple[str, float, int | None] | None] | None:
         """The next (offset, length, retx) to put on the wire, retx first.
 
-        ``retx`` is None for fresh data, or ``(cause, detect_latency)`` for
-        a retransmission (threaded into the trace event so analysis never
-        has to re-infer causality from event ordering).
+        ``retx`` is None for fresh data, or ``(cause, detect_latency,
+        parent_ctx)`` for a retransmission (threaded into the trace event
+        so analysis never has to re-infer causality from event ordering).
         """
         if self._retx_queue:
-            offset, length, cause, latency = self._retx_queue.pop(0)
-            return offset, length, (cause, latency)
+            offset, length, cause, latency, parent_ctx = self._retx_queue.pop(0)
+            return offset, length, (cause, latency, parent_ctx)
         if self.chunk_source is not None:
             chunk = self.chunk_source.next_chunk()
             if chunk is None:
@@ -362,7 +371,7 @@ class SenderConnection:
         return None
 
     def _push_back_chunk(self, offset: int, length: int,
-                         retx: tuple[str, float] | None) -> None:
+                         retx: tuple[str, float, int | None] | None) -> None:
         """Return an unsent chunk to the front of its queue."""
         if retx is not None:
             self._retx_queue.insert(0, (offset, length, *retx))
@@ -372,7 +381,8 @@ class SenderConnection:
             self._next_offset = offset  # it was fresh data; rewind
 
     def _transmit(self, offset: int, length: int,
-                  retx: tuple[str, float] | None = None) -> SentPacketRecord:
+                  retx: tuple[str, float, int | None] | None = None,
+                  ) -> SentPacketRecord:
         is_retransmission = retx is not None
         pn = self._next_packet_number
         self._next_packet_number += 1
@@ -401,16 +411,24 @@ class SenderConnection:
             self.stats.retransmitted_packets += 1
         self.cc.on_packet_sent(size, self.sim.now)
         if obs.TRACER.enabled:
+            # Stamp the trace-context id *before* the packet hits the
+            # wire so every on-path observation can cite it.  The uid is
+            # already unique per datagram, so it doubles as the context
+            # id at zero extra state (DESIGN.md §13).
+            packet.trace_ctx = packet.uid
+            record.trace_ctx = packet.uid
             if retx is not None:
-                cause, latency = retx
+                cause, latency, parent_ctx = retx
                 obs.TRACER.emit("transport.retransmit", self.sim.now,
                                 flow=self.flow_id, pn=pn, size=size,
-                                cause=cause, latency=latency)
+                                cause=cause, latency=latency,
+                                ctx=packet.uid, parent_ctx=parent_ctx)
                 obs.count("transport_retransmits_total", flow=self.flow_id,
                           cause=cause)
             else:
                 obs.TRACER.emit("transport.send", self.sim.now,
-                                flow=self.flow_id, pn=pn, size=size)
+                                flow=self.flow_id, pn=pn, size=size,
+                                ctx=packet.uid)
             obs.count("transport_packets_sent_total", flow=self.flow_id,
                       retx=is_retransmission)
         self.host.send(packet, via=self.via)
@@ -506,9 +524,13 @@ class SenderConnection:
         if obs.TRACER.enabled:
             obs.TRACER.emit("transport.loss", now, flow=self.flow_id,
                             pn=record.packet_number, trigger=trigger,
-                            congestion=congestion)
+                            congestion=congestion, ctx=record.trace_ctx)
             obs.count("transport_losses_total", flow=self.flow_id,
                       trigger=trigger)
+            obs.observe("transport_detect_latency_seconds",
+                        now - record.time_sent,
+                        buckets=obs.LATENCY_BUCKETS,
+                        cause=RETRANSMIT_CAUSES.get(trigger, trigger))
         if not record.retired:
             record.retired = True
             self.bytes_in_flight -= record.size_bytes
@@ -517,7 +539,7 @@ class SenderConnection:
             self._retx_queue.append(
                 (record.offset, record.length,
                  RETRANSMIT_CAUSES.get(trigger, trigger),
-                 now - record.time_sent))
+                 now - record.time_sent, record.trace_ctx))
         if congestion:
             self.cc.on_congestion_event(record.time_sent, now)
 
@@ -655,6 +677,11 @@ class ReceiverConnection:
         if not is_new:
             self.stats.duplicate_packets += 1
             return
+        if obs.TRACER.enabled:
+            obs.TRACER.emit("transport.deliver", self.sim.now,
+                            flow=self.flow_id, pn=frame.packet_number,
+                            ctx=packet.trace_ctx)
+            obs.count("transport_packets_delivered_total", flow=self.flow_id)
         before = len(self.received_offsets)
         if frame.length > 0:
             self.received_offsets.add_range(frame.offset,

@@ -82,6 +82,21 @@ class TestHistogram:
         with pytest.raises(ObservabilityError):
             Histogram().quantile(1.5)
 
+    def test_overflow_quantile_reports_observed_max(self):
+        # Every sample lands past the last bound: the bound itself would
+        # understate the tail, so the observed maximum is reported.
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (5.0, 8.0, 50.0):
+            hist.observe(value)
+        assert hist.quantile(0.99) == 50.0
+        assert hist.quantile(0.5) == 50.0
+
+    def test_overflow_quantile_never_below_last_bound(self):
+        snap = Histogram(buckets=(1.0, 2.0))
+        snap.counts[-1] = 1  # overflow count with maximum unset
+        snap.count = 1
+        assert snap.quantile(0.99) == 2.0
+
     def test_needs_buckets(self):
         with pytest.raises(ObservabilityError):
             Histogram(buckets=())
@@ -111,6 +126,21 @@ class TestRegistry:
         family = registry.counter("x_total", labels=("a",))
         with pytest.raises(ObservabilityError):
             family.labels(b=1)
+
+    def test_per_family_bucket_override(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat_seconds", buckets=(0.5, 1.0, 3.0))
+        family.labels().observe(2.0)
+        assert family.labels().quantile(0.5) == 3.0
+        # Re-registration with the same override is idempotent.
+        assert registry.histogram("lat_seconds",
+                                  buckets=(0.5, 1.0, 3.0)) is family
+
+    def test_bucket_override_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", buckets=(0.5, 1.0))
+        with pytest.raises(ObservabilityError, match="bucket"):
+            registry.histogram("lat_seconds", buckets=(0.5, 2.0))
 
     def test_children_keyed_by_label_values(self):
         registry = MetricsRegistry()

@@ -1,0 +1,91 @@
+"""Schema-drift guard: the instrumentation and EVENT_SCHEMA move together.
+
+Walks every module under ``src/`` with :mod:`ast` and collects each
+``TRACER.emit("<type>", t, field=..., ...)`` call site.  Two invariants:
+
+* every event type emitted anywhere in the source is declared in
+  :data:`repro.obs.schema.EVENT_SCHEMA` -- an undeclared emit would
+  produce JSONL that ``python -m repro.obs.schema`` (the CI smoke job)
+  rejects as an unknown type;
+* every *required* field of a declared type is passed as a keyword at
+  every call site that emits it -- otherwise the export is schema-valid
+  only by accident of which code path ran.
+
+This is the test that fails when someone adds an instrumentation point
+without extending the vocabulary (or prunes the vocabulary while call
+sites still reference it).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.obs.schema import EVENT_SCHEMA
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _is_tracer_emit(node: ast.Call) -> bool:
+    """Match ``TRACER.emit(...)`` / ``obs.TRACER.emit(...)`` / self-hosted
+    ``self.emit`` is deliberately NOT matched (Tracer internals)."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+        return False
+    owner = func.value
+    if isinstance(owner, ast.Name):
+        return owner.id == "TRACER"
+    if isinstance(owner, ast.Attribute):
+        return owner.attr == "TRACER"
+    return False
+
+
+def collect_emit_sites() -> list[tuple[str, int, str, set[str]]]:
+    """Every literal-typed emit call: (file, line, type, keyword names)."""
+    sites = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and _is_tracer_emit(node)):
+                continue
+            if not (node.args and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            keywords = {kw.arg for kw in node.keywords if kw.arg is not None}
+            sites.append((str(path.relative_to(SRC)), node.lineno,
+                          node.args[0].value, keywords))
+    return sites
+
+
+def test_sources_contain_emit_sites():
+    # The walk itself must be finding the instrumentation, or the other
+    # assertions pass vacuously.
+    sites = collect_emit_sites()
+    assert len(sites) >= 30
+    assert {etype for _, _, etype, _ in sites} >= {
+        "link.drop", "transport.retransmit", "quack.decode",
+        "sidecar.gap_detect"}
+
+
+def test_every_emitted_type_is_declared():
+    undeclared = [(f"{path}:{line}", etype)
+                  for path, line, etype, _ in collect_emit_sites()
+                  if etype not in EVENT_SCHEMA]
+    assert not undeclared, (
+        f"emit sites reference event types missing from EVENT_SCHEMA "
+        f"(extend repro/obs/schema.py): {undeclared}")
+
+
+def test_every_required_field_is_passed():
+    # ``**kwargs`` forwarding (kw.arg None) makes a site unverifiable
+    # statically; no current call site does that, and the first test
+    # above would still catch an unknown type at runtime via CI's JSONL
+    # validation.
+    problems = []
+    for path, line, etype, keywords in collect_emit_sites():
+        required = set(EVENT_SCHEMA.get(etype, {}))
+        missing = required - keywords
+        if missing:
+            problems.append((f"{path}:{line}", etype, sorted(missing)))
+    assert not problems, (
+        f"emit sites omit required schema fields: {problems}")

@@ -141,6 +141,59 @@ class TestTrace:
             main(["trace", "frobnicate"])
 
 
+class TestTraceFilter:
+    def test_filter_keeps_only_matching_prefixes(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(capsys, "trace", "retransmission",
+                          "--total", "120000", "--jsonl", str(path),
+                          "--filter", "sidecar.")
+        assert code == 0
+        import json as _json
+
+        types = {_json.loads(line)["type"]
+                 for line in path.read_text().splitlines()}
+        assert types and all(t.startswith("sidecar.") for t in types)
+
+    def test_filter_is_repeatable(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(capsys, "trace", "retransmission",
+                          "--total", "120000", "--jsonl", str(path),
+                          "--filter", "sidecar.", "--filter", "quack.")
+        assert code == 0
+        import json as _json
+
+        components = {_json.loads(line)["type"].split(".")[0]
+                      for line in path.read_text().splitlines()}
+        assert components == {"sidecar", "quack"}
+
+    def test_summary_reports_drop_ratio(self, capsys):
+        code, out = run_cli(capsys, "trace", "cc-division",
+                            "--total", "60000")
+        assert code == 0
+        assert "drop ratio" in out
+
+    def test_truncated_ring_warns(self, capsys):
+        code, out = run_cli(capsys, "trace", "cc-division",
+                            "--total", "60000", "--capacity", "64")
+        assert code == 0
+        assert "WARNING: ring buffer truncated the trace" in out
+        assert "raise --capacity" in out
+
+    def test_analyze_filter_and_spans(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(capsys, "trace", "retransmission",
+                          "--total", "120000", "--jsonl", str(path))
+        assert code == 0
+        code, out = run_cli(capsys, "analyze", str(path), "--spans")
+        assert code == 0
+        assert "span trees:" in out and "attribution:" in out
+        # Filtering away the transport layer leaves no spans to build.
+        code, out = run_cli(capsys, "analyze", str(path), "--spans",
+                            "--filter", "quack.")
+        assert code == 0
+        assert "span trees: 0 packets" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
