@@ -113,6 +113,41 @@ def test_disabled_context_stamping_adds_no_measurable_overhead():
         f"path must stay within {MAX_OVERHEAD_FACTOR}x")
 
 
+def test_disabled_hierarchical_begin_matches_flat_guard():
+    """The hierarchical profiler's disabled path must cost what the old
+    flat profiler's did: one attribute load plus a falsy branch.
+
+    ``begin(name)`` now keys a call-path frame, but while disabled it
+    must return before touching any of that -- so a loop of named begins
+    must stay within the overhead factor of a loop of anonymous ones
+    (the flat profiler's exact disabled path).
+    """
+    from repro.obs.profile import Profiler
+
+    profiler = Profiler()  # never configured: disabled
+    batch = 500
+
+    def named():
+        for _ in range(batch):
+            if profiler.begin("quack.newton"):
+                profiler.end("quack.newton", 1.0)
+
+    def anonymous():
+        for _ in range(batch):
+            if profiler.begin():
+                profiler.end("x", 1.0)
+
+    baseline = measure(anonymous, trials=TRIALS)
+    instrumented = measure(named, trials=TRIALS)
+
+    factor = instrumented.median / baseline.median
+    assert factor <= MAX_OVERHEAD_FACTOR, (
+        f"disabled hierarchical begin(name) is {factor:.2f}x the flat "
+        f"disabled begin ({instrumented.median * 1e6:.0f} µs vs "
+        f"{baseline.median * 1e6:.0f} µs per {batch} calls); the "
+        f"disabled path must stay within {MAX_OVERHEAD_FACTOR}x")
+
+
 def test_enabled_profiling_actually_records():
     """Sanity inverse: with obs on, the same decode produces span data."""
     workload = make_workload(n=400, num_missing=10, bits=32, seed=1)
@@ -126,4 +161,9 @@ def test_enabled_profiling_actually_records():
     spans = {entry["labels"]["span"]
              for entry in obs.METRICS.snapshot()["obs_span_seconds"]["series"]}
     assert {"quack.newton", "quack.rootfind"} <= spans
+    # The same run must also have attributed hierarchically: the inner
+    # spans nest under the quack.decode call path.
+    paths = set(obs.PROFILER.path_stats())
+    assert ("quack.decode", "quack.newton") in paths
+    assert ("quack.decode", "quack.rootfind") in paths
     obs.reset()

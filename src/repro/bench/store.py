@@ -103,12 +103,18 @@ class Metric:
 
 @dataclass(frozen=True)
 class BenchSnapshot:
-    """One area's recorded metrics plus provenance."""
+    """One area's recorded metrics plus provenance.
+
+    ``git_rev`` is the commit the snapshot was recorded at (best-effort
+    ``git rev-parse``; ``None`` -- JSON ``null`` -- outside a
+    repository), so ``repro diff`` can name the two commits it
+    compares.
+    """
 
     area: str
     metrics: dict[str, Metric]
     recorded_at: str = ""
-    git_rev: str = "unknown"
+    git_rev: str | None = None
     quick: bool = False
     fingerprint: dict = field(default_factory=dict)
     schema: int = SCHEMA_VERSION
@@ -136,17 +142,17 @@ def machine_fingerprint() -> dict:
     }
 
 
-def git_revision(cwd: str | None = None) -> str:
-    """The working tree's HEAD, or ``unknown`` outside a repository."""
+def git_revision(cwd: str | None = None) -> str | None:
+    """The working tree's HEAD, or ``None`` outside a repository."""
     try:
         output = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             capture_output=True, text=True, timeout=10, cwd=cwd)
     except (OSError, subprocess.TimeoutExpired):
-        return "unknown"
+        return None
     if output.returncode != 0:
-        return "unknown"
-    return output.stdout.strip() or "unknown"
+        return None
+    return output.stdout.strip() or None
 
 
 # -- collectors ---------------------------------------------------------------
@@ -347,12 +353,82 @@ def collect_negotiate(quick: bool = False) -> dict[str, Metric]:
     }
 
 
+def collect_simcore(quick: bool = False) -> dict[str, Metric]:
+    """Simulator-core throughput: the trajectory the scheduler rework
+    (ROADMAP item 5) has to beat.
+
+    Two wall-clock rates plus one deterministic cost signature:
+
+    * ``events_per_sec`` -- a bare event loop driven by self-
+      rescheduling timers (pure scheduler cost, no protocol work);
+    * ``packets_per_sec`` -- packets the full retransmission scenario
+      pushes through per wall-clock second (protocol + scheduler);
+    * ``heap_ops_per_event`` -- heap pushes+pops per dispatched event,
+      machine-independent: a calendar-queue core shows up here first.
+    """
+    from time import perf_counter
+
+    from repro.bench.timing import measure
+    from repro.netsim.core import Simulator
+    from repro.sidecar.retransmission import run_retransmission
+
+    n_events = 50_000 if quick else 200_000
+    timers = 64
+    trials = 5 if quick else 10
+
+    counters: dict[str, int] = {}
+
+    def drive_loop() -> None:
+        sim = Simulator()
+        remaining = [n_events]
+
+        def tick(index: int) -> None:
+            if remaining[0] <= 0:
+                return
+            remaining[0] -= 1
+            sim.schedule(0.001 * ((index % 7) + 1), tick, index + 1)
+
+        for index in range(timers):
+            sim.schedule(0.0001 * index, tick, index)
+        sim.run()
+        counters.update(sim.resource_stats())
+
+    loop = measure(drive_loop, trials=trials)
+    heap_ops = (counters["heap_pushes"] + counters["heap_pops"]) \
+        / max(counters["events_dispatched"], 1)
+
+    total_bytes = 120_000 if quick else 500_000
+    started = perf_counter()
+    retx = run_retransmission(total_bytes=total_bytes, innet_retx=True,
+                              seed=1)
+    wall = perf_counter() - started
+    packets = retx.server_packets_sent + retx.proxy_retransmissions
+
+    return {
+        "events_per_sec": Metric(
+            name="events_per_sec", mean=n_events / loop.mean,
+            stdev=(n_events / loop.mean ** 2) * loop.stdev, n=loop.trials,
+            unit="events/s", direction="higher"),
+        "heap_ops_per_event": Metric(
+            name="heap_ops_per_event", mean=heap_ops,
+            unit="ops/event", direction="lower"),
+        "packets_per_sec": Metric(
+            name="packets_per_sec", mean=packets / wall,
+            unit="packets/s", direction="higher"),
+        "sim_events_dispatched": Metric(
+            name="sim_events_dispatched",
+            mean=float(counters["events_dispatched"]),
+            unit="events", direction="info"),
+    }
+
+
 #: Area name -> collector.  ``record`` runs these.
 COLLECTORS: dict[str, Callable[[bool], dict[str, Metric]]] = {
     "quack": collect_quack,
     "obs": collect_obs,
     "protocols": collect_protocols,
     "negotiate": collect_negotiate,
+    "simcore": collect_simcore,
 }
 
 
@@ -362,11 +438,46 @@ def snapshot_path(directory: str, area: str) -> str:
     return os.path.join(directory, f"BENCH_{area}.json")
 
 
+def profile_path(directory: str, area: str) -> str:
+    """Where the area's hierarchical profile snapshot lives."""
+    return os.path.join(directory, f"PROFILE_{area}.json")
+
+
+def _record_profile(directory: str, area: str, rev: str | None) -> str:
+    """Run the area's collector once more under the hierarchical profiler.
+
+    The *timed* collector pass above runs uninstrumented so its
+    wall-clock numbers stay comparable with checked-in baselines; this
+    extra quick pass trades accuracy of the absolute numbers for span
+    attribution, and its output (``PROFILE_<area>.json``) feeds
+    ``repro diff`` / ``repro bench compare`` regression hints.
+    """
+    from repro.obs import PROFILER, perf
+    from repro.obs.metrics import MetricsRegistry
+
+    scratch = MetricsRegistry()
+    PROFILER.reset()
+    PROFILER.configure(scratch)
+    try:
+        COLLECTORS[area](True)
+        doc = perf.profile_snapshot(
+            PROFILER, scenario=f"bench:{area}", git_rev=rev)
+    finally:
+        PROFILER.disable()
+        PROFILER.reset()
+    return perf.write_profile(doc, profile_path(directory, area))
+
+
 def record(directory: str, areas: Iterable[str] | None = None,
            quick: bool = False,
-           progress: Callable[[str], None] | None = None
-           ) -> dict[str, BenchSnapshot]:
-    """Run collectors and write one ``BENCH_<area>.json`` per area."""
+           progress: Callable[[str], None] | None = None,
+           profile: bool = True) -> dict[str, BenchSnapshot]:
+    """Run collectors and write one ``BENCH_<area>.json`` per area.
+
+    With ``profile`` (the default) each area also gets a
+    ``PROFILE_<area>.json`` hierarchical span snapshot from a separate
+    quick instrumented pass -- the timed pass stays uninstrumented.
+    """
     chosen = tuple(areas) if areas is not None else tuple(sorted(COLLECTORS))
     unknown = [area for area in chosen if area not in COLLECTORS]
     if unknown:
@@ -391,6 +502,10 @@ def record(directory: str, areas: Iterable[str] | None = None,
             fingerprint=fingerprint,
         )
         write_snapshot(snapshot, directory)
+        if profile:
+            if progress is not None:
+                progress(f"profiling {area}...")
+            _record_profile(directory, area, rev)
         snapshots[area] = snapshot
     return snapshots
 
@@ -531,11 +646,12 @@ def load_snapshot(path: str) -> BenchSnapshot:
                for name, value in raw_metrics.items()
                if isinstance(value, Mapping)}
     fingerprint = record_.get("fingerprint")
+    rev = record_.get("git_rev")
     return BenchSnapshot(
         area=area,
         metrics=metrics,
         recorded_at=str(record_.get("recorded_at", "")),
-        git_rev=str(record_.get("git_rev", "unknown")),
+        git_rev=rev if isinstance(rev, str) and rev != "unknown" else None,
         quick=bool(record_.get("quick", False)),
         fingerprint=dict(fingerprint)
         if isinstance(fingerprint, Mapping) else {},

@@ -29,7 +29,15 @@ Subcommands:
   telemetry snapshot (exit status 1 when a budget is violated);
 * ``vectors``       -- regenerate or validate the checked-in wire-format
   conformance vectors (``tests/vectors/*.json``; exit status 1 when a
-  vector is stale or fails against the implementation).
+  vector is stale or fails against the implementation);
+* ``profile``       -- run a scenario under the hierarchical profiler
+  and print the heaviest call paths, optionally exporting a collapsed-
+  stack flamegraph (``--flame``) and a JSON profile snapshot
+  (``--json``) plus the per-flow middlebox resource table;
+* ``diff``          -- differential analysis of two snapshot files
+  (bench / profile / telemetry / sweep aggregate), ranking series by
+  magnitude of relative change (exit status 1 when any series moved
+  past the threshold).
 
 Examples::
 
@@ -55,6 +63,9 @@ Examples::
     python -m repro slo benchmarks/slo/seed_scenarios.json
     python -m repro vectors generate
     python -m repro vectors check
+    python -m repro profile retransmission --flame out.folded --top 15
+    python -m repro diff benchmarks/baselines/BENCH_quack.json \\
+        /tmp/bench/BENCH_quack.json
 """
 
 from __future__ import annotations
@@ -249,7 +260,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
         # Arm the black box: trace every plan so an invariant failure
         # dumps the ring plus the implicated packet's span tree.
-        obs.FLIGHT.configure(args.flight_dir)
+        obs.FLIGHT.configure(args.flight_dir, last_n=args.flight_events)
         obs.reset()
         obs.enable(profile=False)
     failures = 0
@@ -303,6 +314,51 @@ def cmd_trace(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
     return 0
+
+
+# -- profile --------------------------------------------------------------------
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import PROFILER, perf
+    from repro.obs.runner import run_traced
+    from repro.sidecar.accounting import FLOW_ACCOUNTS
+
+    FLOW_ACCOUNTS.reset()
+    FLOW_ACCOUNTS.arm()
+    try:
+        run_traced(args.which, seed=args.seed, total_bytes=args.total,
+                   loss=args.loss, allocations=args.alloc)
+    finally:
+        FLOW_ACCOUNTS.disarm()
+    snapshot = perf.profile_snapshot(
+        PROFILER, scenario=args.which, seed=args.seed,
+        flows=FLOW_ACCOUNTS.snapshot() if FLOW_ACCOUNTS.flows else None)
+    print(perf.format_profile(snapshot, top=args.top))
+    if args.flame:
+        path = perf.write_folded(snapshot, args.flame)
+        print(f"wrote collapsed stacks to {path}", file=sys.stderr)
+    if args.json:
+        path = perf.write_profile(snapshot, args.json)
+        print(f"wrote profile snapshot to {path}", file=sys.stderr)
+    PROFILER.reset()
+    return 0
+
+
+# -- diff -----------------------------------------------------------------------
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs import perf
+
+    try:
+        report = perf.diff_files(args.baseline, args.current,
+                                 threshold=args.threshold,
+                                 min_abs=args.min)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(perf.format_diff(report, threshold=args.threshold, top=args.top))
+    return 0 if report.ok else 1
 
 
 # -- analyze --------------------------------------------------------------------
@@ -433,7 +489,20 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_comparison(comparisons, threshold=args.threshold))
-    return 0 if all(comparison.ok for comparison in comparisons) else 1
+    failed = [comparison.area for comparison in comparisons
+              if not comparison.ok]
+    if failed:
+        # Best-effort span attribution: which call paths moved in the
+        # regressed areas' PROFILE_<area>.json snapshots.
+        from repro.obs import perf
+
+        hints = perf.span_regression_hints(args.current, args.baseline,
+                                           failed)
+        if hints:
+            print()
+            print(hints)
+        return 1
+    return 0
 
 
 # -- sweep ----------------------------------------------------------------------
@@ -495,7 +564,8 @@ def cmd_vectors(args: argparse.Namespace) -> int:
         # Vector execution decodes hostile/corrupt wire bytes; arm the
         # flight recorder so any WireFormatError raised mid-check dumps
         # its evidence for the CI artifact upload.
-        obs.FLIGHT.configure(args.flight_dir)
+        obs.FLIGHT.configure(args.flight_dir,
+                             last_n=getattr(args, "flight_events", 512))
     try:
         problems = vectors.check(args.dir)
     finally:
@@ -589,6 +659,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "the last trace events plus the implicated "
                             "packet's span tree to DIR on any invariant "
                             "failure")
+    chaos.add_argument("--flight-events", type=int, default=512, metavar="N",
+                       help="flight-recorder ring capacity: keep the last "
+                            "N trace events in each crash dump")
     chaos.set_defaults(func=cmd_chaos)
 
     from repro.obs.runner import known_scenarios
@@ -614,6 +687,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "PREFIX, e.g. 'sidecar.' or 'link.drop' "
                             "(repeatable; ORed together)")
     trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="run a scenario under the hierarchical profiler")
+    profile.add_argument("which", choices=known_scenarios())
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--total", type=int, default=200_000,
+                         help="transfer size in bytes")
+    profile.add_argument("--loss", type=float, default=0.02,
+                         help="loss rate (experiment scenarios)")
+    profile.add_argument("--flame", default=None, metavar="PATH",
+                         help="write collapsed-stack text (flamegraph.pl "
+                              "/ speedscope input) to PATH")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="write the JSON profile snapshot to PATH "
+                              "(diffable with 'repro diff')")
+    profile.add_argument("--alloc", action="store_true",
+                         help="also track per-span allocation deltas via "
+                              "tracemalloc (slow)")
+    profile.add_argument("--top", type=int, default=20,
+                         help="call paths to print (by self time)")
+    profile.set_defaults(func=cmd_profile)
+
+    diff = sub.add_parser(
+        "diff", help="rank series movements between two snapshot files "
+                     "(exit 1 past threshold)")
+    diff.add_argument("baseline", help="baseline snapshot JSON (bench / "
+                                       "profile / telemetry / sweep)")
+    diff.add_argument("current", help="current snapshot JSON (same kind)")
+    diff.add_argument("--threshold", type=float, default=2.0,
+                      help="ratio past which a series counts as moved "
+                           "(must be > 1.0)")
+    diff.add_argument("--min", type=float, default=1e-9, metavar="ABS",
+                      help="noise floor: ignore series where both sides "
+                           "are below ABS")
+    diff.add_argument("--top", type=int, default=20,
+                      help="ranked series to print")
+    diff.set_defaults(func=cmd_diff)
 
     analyze = sub.add_parser(
         "analyze", help="derive timelines/attribution from a JSONL trace")
@@ -717,6 +827,10 @@ def build_parser() -> argparse.ArgumentParser:
     vectors_check.add_argument("--flight-dir", default=None, metavar="DIR",
                                help="arm the flight recorder: dump ring "
                                     "evidence to DIR on WireFormatError")
+    vectors_check.add_argument("--flight-events", type=int, default=512,
+                               metavar="N",
+                               help="flight-recorder ring capacity: keep "
+                                    "the last N trace events in each dump")
     vectors_check.add_argument("--dir", default="tests/vectors",
                                help="vector directory")
     vectors_check.set_defaults(func=cmd_vectors)

@@ -56,13 +56,28 @@ class EventHandle:
 
 
 class Simulator:
-    """Event loop for virtual-time simulation."""
+    """Event loop for virtual-time simulation.
+
+    The loop keeps always-on resource counters (one integer add per
+    operation): ``events_dispatched`` callbacks executed,
+    ``heap_pushes``/``heap_pops`` heap operations, and
+    ``events_cancelled_dropped`` cancelled events discarded without
+    running.  They are the raw material for the simulator-core bench
+    area (``BENCH_simcore.json``) that tracks events- and
+    packets-processed-per-second across scheduler rework (ROADMAP
+    item 5): heap ops per dispatched event is the deterministic cost
+    signature a calendar-queue core must beat.
+    """
 
     def __init__(self) -> None:
         self._heap: list[_Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self.events_dispatched = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.events_cancelled_dropped = 0
 
     @property
     def now(self) -> float:
@@ -85,6 +100,7 @@ class Simulator:
             )
         event = _Event(time, next(self._seq), callback, args)
         heapq.heappush(self._heap, event)
+        self.heap_pushes += 1
         return EventHandle(event)
 
     def run(self, until: float | None = None,
@@ -108,11 +124,14 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                self.heap_pops += 1
                 if event.cancelled:
+                    self.events_cancelled_dropped += 1
                     continue
                 self._now = event.time
                 event.callback(*event.args)
                 executed += 1
+                self.events_dispatched += 1
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -123,9 +142,20 @@ class Simulator:
         """Virtual time of the next live event, or None if idle."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self.heap_pops += 1
+            self.events_cancelled_dropped += 1
         return self._heap[0].time if self._heap else None
 
     @property
     def pending_events(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
         return sum(1 for e in self._heap if not e.cancelled)
+
+    def resource_stats(self) -> dict[str, int]:
+        """The loop's always-on resource counters, as a plain dict."""
+        return {
+            "events_dispatched": self.events_dispatched,
+            "heap_pushes": self.heap_pushes,
+            "heap_pops": self.heap_pops,
+            "events_cancelled_dropped": self.events_cancelled_dropped,
+        }

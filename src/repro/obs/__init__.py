@@ -91,11 +91,17 @@ PROFILER = Profiler()
 FLIGHT = FlightRecorder()
 
 
-def enable(capacity: int = 65536, profile: bool = True) -> RingSink:
-    """Turn observability on; returns the fresh trace sink."""
+def enable(capacity: int = 65536, profile: bool = True,
+           allocations: bool = False) -> RingSink:
+    """Turn observability on; returns the fresh trace sink.
+
+    ``allocations=True`` asks the profiler to attribute ``tracemalloc``
+    byte deltas to each call path (expensive; timing runs should leave
+    it off).
+    """
     sink = TRACER.configure(capacity)
     if profile:
-        PROFILER.configure(METRICS)
+        PROFILER.configure(METRICS, allocations=allocations)
     return sink
 
 
@@ -120,8 +126,9 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Zero the metrics and drop buffered trace events."""
+    """Zero the metrics, profiler paths, and buffered trace events."""
     METRICS.reset()
+    PROFILER.reset()
     if TRACER.sink is not None:
         TRACER.sink.clear()
 

@@ -57,12 +57,15 @@ class TraceRunResult:
 def run_traced(scenario: str, *, seed: int = 1,
                total_bytes: int = 200_000, loss: float = 0.02,
                capacity: int = 65536,
-               profile: bool = True) -> TraceRunResult:
+               profile: bool = True,
+               allocations: bool = False) -> TraceRunResult:
     """Run ``scenario`` with tracing/metrics/profiling enabled.
 
     ``scenario`` is an experiment name (``cc-division``,
     ``ack-reduction``, ``retransmission``) or a chaos plan name
-    (``blackout``, ``corruption``, ...).  Observability is switched off
+    (``blackout``, ``corruption``, ...).  ``allocations`` additionally
+    tracks per-span allocation deltas via ``tracemalloc`` (slow; only
+    for ``repro profile --alloc``).  Observability is switched off
     again before returning, whatever happens inside the scenario.
     """
     from repro.chaos import PLANS, run_plan
@@ -73,7 +76,8 @@ def run_traced(scenario: str, *, seed: int = 1,
             f"{', '.join(known_scenarios())}")
 
     obs.reset()
-    sink = obs.enable(capacity=capacity, profile=profile)
+    sink = obs.enable(capacity=capacity, profile=profile,
+                      allocations=allocations)
     try:
         outcome = _run_scenario(scenario, seed=seed, total_bytes=total_bytes,
                                 loss=loss, run_plan=run_plan, plans=PLANS)

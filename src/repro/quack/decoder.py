@@ -67,6 +67,16 @@ def decode_delta(delta: PowerSumQuack, sent_log: Sequence[int],
             f"unknown decode method {method!r}; expected 'auto', "
             f"'candidates', or 'factor'"
         )
+    outer = PROFILER.begin("quack.decode")
+    try:
+        return _decode_delta(delta, sent_log, method, raise_on_failure)
+    finally:
+        if outer:
+            PROFILER.end("quack.decode", outer)
+
+
+def _decode_delta(delta: PowerSumQuack, sent_log: Sequence[int],
+                  method: str, raise_on_failure: bool) -> DecodeResult:
     m = delta.count
     failure: Exception | None = None
     result: DecodeResult | None = None
@@ -88,11 +98,11 @@ def decode_delta(delta: PowerSumQuack, sent_log: Sequence[int],
         )
 
     if failure is None and result is None:
-        started = PROFILER.begin()
+        started = PROFILER.begin("quack.newton")
         poly = polynomial_from_power_sums(delta.field, delta.power_sums[:m])
         if started:
             PROFILER.end("quack.newton", started)
-        started = PROFILER.begin()
+        started = PROFILER.begin("quack.rootfind")
         root_counts = _find_roots(poly, sent_log, _resolve_method(method, m, sent_log))
         if started:
             PROFILER.end("quack.rootfind", started)

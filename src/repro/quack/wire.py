@@ -88,7 +88,7 @@ def encode(quack: Quack, include_count: bool = True,
     if not 0 <= features <= 0xFF:
         raise WireFormatError(
             f"{FORMAT_NAME}: feature bits {features:#x} exceed one byte")
-    started = PROFILER.begin()
+    started = PROFILER.begin("quack.wire_encode")
     if isinstance(quack, PowerSumQuack):
         scheme, flags, body = _encode_power_sum(quack, include_count)
     elif isinstance(quack, EchoQuack):
@@ -162,7 +162,7 @@ def decode(frame: bytes, implicit_count: int | None = None) -> Quack:
         frame = frame[:-CRC_BYTES]
     body = frame[body_at:]
     has_count = bool(flags & _FLAG_HAS_COUNT)
-    started = PROFILER.begin()
+    started = PROFILER.begin("quack.wire_decode")
     try:
         if scheme is QuackScheme.POWER_SUM:
             return _decode_power_sum(body, has_count, implicit_count)

@@ -145,7 +145,8 @@ class _EmitterMixin:
                 # rebuilding it would orphan them in the peer's log.
                 self.threshold, self.bits = ack.threshold, ack.bits
                 self.emitter = QuackEmitter(ack.threshold, ack.bits,
-                                            policy=self.policy)
+                                            policy=self.policy,
+                                            flow=self.flow_id)
             if obs.TRACER.enabled:
                 obs.TRACER.emit("sidecar.negotiated", self.sim.now,
                                 flow=self.flow_id, role="emitter",
@@ -219,7 +220,7 @@ class _EmitterMixin:
         self.epoch = epoch
         self.resets_applied += 1
         self.emitter = QuackEmitter(self.threshold, self.bits,
-                                    policy=self.policy)
+                                    policy=self.policy, flow=self.flow_id)
 
     def crash_restart(self) -> None:
         """Simulate a middlebox crash/restart: all volatile state is lost.
@@ -237,7 +238,7 @@ class _EmitterMixin:
         self.restarts += 1
         self.epoch = 0
         self.emitter = QuackEmitter(self.threshold, self.bits,
-                                    policy=self.policy)
+                                    policy=self.policy, flow=self.flow_id)
         # Negotiated session state is volatile too; a checkpoint (v2)
         # restores it below, otherwise an armed responder waits for a
         # fresh HELLO before assisting again.
@@ -344,7 +345,8 @@ class HostEmitterAgent(_EmitterMixin):
         self.threshold = threshold
         self.bits = bits
         self.policy = policy
-        self.emitter = QuackEmitter(threshold, bits, policy=policy)
+        self.emitter = QuackEmitter(threshold, bits, policy=policy,
+                                    flow=flow_id)
         self.quacks_sent = 0
         self.epoch = 0
         self.resets_applied = 0
@@ -1138,7 +1140,8 @@ class ProxyEmitterTap(_EmitterMixin):
         self.threshold = threshold
         self.bits = bits
         self.policy = policy
-        self.emitter = QuackEmitter(threshold, bits, policy=policy)
+        self.emitter = QuackEmitter(threshold, bits, policy=policy,
+                                    flow=flow_id)
         self.quacks_sent = 0
         self.epoch = 0
         self.resets_applied = 0

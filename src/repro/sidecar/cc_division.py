@@ -98,7 +98,8 @@ class PacingProxy:
 
         # Upstream duty: quACK forwarded packets to the server.
         self.emitter = QuackEmitter(
-            threshold, bits, policy=PacketCountFrequency(quack_to_server_every))
+            threshold, bits, policy=PacketCountFrequency(quack_to_server_every),
+            flow="proxy-upstream")
 
         self._buffer: list[Packet] = []
         router.policy = self

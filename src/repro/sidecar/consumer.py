@@ -106,7 +106,7 @@ class QuackConsumer:
 
     def record_send(self, identifier: int, meta: Any, now: float) -> None:
         """Log one transmitted packet (amortized power-sum update)."""
-        started = PROFILER.begin()
+        started = PROFILER.begin("quack.power_sum_update")
         self.mine.insert(identifier)
         if started:
             PROFILER.end("quack.power_sum_update", started)

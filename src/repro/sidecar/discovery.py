@@ -149,7 +149,8 @@ class DiscoveringProxy:
         flow.accepted = True
         flow.emitter = QuackEmitter(
             accept.threshold, accept.bits,
-            policy=PacketCountFrequency(accept.quack_every))
+            policy=PacketCountFrequency(accept.quack_every),
+            flow=accept.flow_id)
 
 
 class DiscoveringServerSidecar:

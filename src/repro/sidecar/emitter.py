@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.obs import PROFILER
 from repro.quack.power_sum import PowerSumQuack
+from repro.sidecar.accounting import FLOW_ACCOUNTS
 from repro.sidecar.frequency import FrequencyPolicy, PacketCountFrequency
 
 
@@ -29,12 +30,20 @@ class EmitterStats:
 
 
 class QuackEmitter:
-    """Observes identifiers; produces quACK snapshots per policy."""
+    """Observes identifiers; produces quACK snapshots per policy.
+
+    ``flow`` names this emitter's flow in the per-flow resource ledger
+    (:data:`~repro.sidecar.accounting.FLOW_ACCOUNTS`); while the ledger
+    is disarmed the accounting hooks cost one attribute load plus a
+    branch per call.
+    """
 
     def __init__(self, threshold: int, bits: int = 32, count_bits: int = 16,
-                 policy: FrequencyPolicy | None = None) -> None:
+                 policy: FrequencyPolicy | None = None,
+                 flow: str = "") -> None:
         self.quack = PowerSumQuack(threshold, bits, count_bits)
         self.policy = policy if policy is not None else PacketCountFrequency(2)
+        self.flow = flow
         self.stats = EmitterStats()
         self._packets_since_emit = 0
         self._last_emit = 0.0
@@ -49,13 +58,17 @@ class QuackEmitter:
         recorded as a ``sidecar.mb_observe`` lifecycle event.  Neither
         influences the power sums.
         """
-        started = PROFILER.begin()
+        started = PROFILER.begin("quack.power_sum_update")
         self.quack.insert(identifier)
         if started:
             PROFILER.end("quack.power_sum_update", started)
         if obs.TRACER.enabled and ctx is not None:
             obs.TRACER.emit("sidecar.mb_observe", now,
                             flow=flow if flow is not None else "?", ctx=ctx)
+        if FLOW_ACCOUNTS.armed:
+            FLOW_ACCOUNTS.on_observe(
+                flow if flow is not None else self.flow,
+                (self.quack.wire_size_bits() + 7) // 8)
         self.stats.observed += 1
         self._packets_since_emit += 1
         if self.policy.on_packet(self._packets_since_emit, now,
@@ -69,7 +82,10 @@ class QuackEmitter:
         self._last_emit = now
         self.stats.emitted += 1
         snapshot = self.quack.copy()
-        self.stats.emitted_bytes += (snapshot.wire_size_bits() + 7) // 8
+        frame_bytes = (snapshot.wire_size_bits() + 7) // 8
+        self.stats.emitted_bytes += frame_bytes
+        if FLOW_ACCOUNTS.armed:
+            FLOW_ACCOUNTS.on_emit(self.flow, frame_bytes)
         return snapshot
 
     @property

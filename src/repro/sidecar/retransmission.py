@@ -165,7 +165,8 @@ class ReceiverSideRetxProxy:
         self.flow_id = flow_id
         self.policy = policy if policy is not None else AdaptiveFrequency(
             initial_every=8)
-        self.emitter = QuackEmitter(threshold, bits, policy=self.policy)
+        self.emitter = QuackEmitter(threshold, bits, policy=self.policy,
+                                    flow=flow_id)
         self.quacks_sent = 0
         self.retunes_applied = 0
         router.add_tap(self._tap)

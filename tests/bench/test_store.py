@@ -214,3 +214,78 @@ class TestCompareDirs:
         (tmp_path / "b").mkdir()
         with pytest.raises(BenchStoreError, match="no common"):
             compare_dirs(str(tmp_path / "a"), str(tmp_path / "b"))
+
+
+class TestProfilesAlongsideRecord:
+    def test_record_writes_profile_per_area(self, tmp_path):
+        from repro.bench.store import profile_path
+        from repro.obs.perf import load_profile
+
+        record(str(tmp_path), areas=["quack"], quick=True)
+        path = profile_path(str(tmp_path), "quack")
+        doc = load_profile(path)
+        assert doc["scenario"] == "bench:quack"
+        paths = {span["path"] for span in doc["spans"]}
+        assert any(p.startswith("quack.decode") for p in paths)
+
+    def test_record_profile_opt_out(self, tmp_path):
+        from repro.bench.store import profile_path
+        import os
+
+        record(str(tmp_path), areas=["protocols"], quick=True,
+               profile=False)
+        assert not os.path.exists(profile_path(str(tmp_path), "protocols"))
+
+    def test_profiled_pass_leaves_global_profiler_off(self, tmp_path):
+        from repro import obs
+
+        record(str(tmp_path), areas=["quack"], quick=True)
+        assert not obs.PROFILER.enabled
+
+
+class TestSimcoreArea:
+    def test_simcore_metrics_and_directions(self, tmp_path):
+        snapshot = record(str(tmp_path), areas=["simcore"], quick=True,
+                          profile=False)["simcore"]
+        metrics = snapshot.metrics
+        assert metrics["events_per_sec"].direction == "higher"
+        assert metrics["events_per_sec"].mean > 0
+        assert metrics["packets_per_sec"].direction == "higher"
+        assert metrics["packets_per_sec"].mean > 0
+        # The cost signature is machine-independent: a binary heap does
+        # one push + one pop per dispatched event (~2 ops/event).
+        assert metrics["heap_ops_per_event"].direction == "lower"
+        assert 1.5 <= metrics["heap_ops_per_event"].mean <= 4.0
+
+    def test_heap_ops_signature_is_deterministic(self, tmp_path):
+        from repro.bench.store import collect_simcore
+
+        first = collect_simcore(quick=True)
+        second = collect_simcore(quick=True)
+        assert first["heap_ops_per_event"].mean == \
+            second["heap_ops_per_event"].mean
+        assert first["sim_events_dispatched"].mean == \
+            second["sim_events_dispatched"].mean
+
+
+class TestGitRevision:
+    def test_none_outside_a_repository(self, tmp_path):
+        from repro.bench.store import git_revision
+
+        assert git_revision(cwd=str(tmp_path)) is None
+
+    def test_short_hash_inside_this_repository(self):
+        from repro.bench.store import git_revision
+
+        rev = git_revision()
+        # Best-effort: the test tree is normally a git checkout, but a
+        # tarball export legitimately yields None.
+        assert rev is None or (rev and all(c in "0123456789abcdef"
+                                           for c in rev))
+
+    def test_legacy_unknown_rev_loads_as_none(self, tmp_path):
+        path = tmp_path / "BENCH_quack.json"
+        path.write_text(json.dumps({
+            "schema": 1, "area": "quack", "git_rev": "unknown",
+            "metrics": {"m": {"mean": 1.0}}}))
+        assert load_snapshot(str(path)).git_rev is None

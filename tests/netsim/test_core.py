@@ -147,3 +147,34 @@ class TestRunControl:
         sim = Simulator()
         handle = sim.schedule(4.5, lambda: None)
         assert handle.time == 4.5
+
+
+class TestResourceCounters:
+    def test_counters_track_pushes_pops_and_dispatches(self):
+        sim = Simulator()
+        for index in range(5):
+            sim.schedule(0.001 * index, lambda: None)
+        sim.run()
+        stats = sim.resource_stats()
+        assert stats["heap_pushes"] == 5
+        assert stats["heap_pops"] == 5
+        assert stats["events_dispatched"] == 5
+        assert stats["events_cancelled_dropped"] == 0
+
+    def test_cancelled_events_counted_separately(self):
+        sim = Simulator()
+        keep = sim.schedule(0.001, lambda: None)
+        drop = sim.schedule(0.002, lambda: None)
+        drop.cancel()
+        sim.run()
+        assert not keep.cancelled
+        stats = sim.resource_stats()
+        assert stats["events_dispatched"] == 1
+        assert stats["events_cancelled_dropped"] == 1
+        assert stats["heap_pops"] == 2
+
+    def test_peek_discards_count_as_cancelled_drops(self):
+        sim = Simulator()
+        sim.schedule(0.001, lambda: None).cancel()
+        assert sim.peek_next_time() is None
+        assert sim.resource_stats()["events_cancelled_dropped"] == 1

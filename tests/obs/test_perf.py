@@ -1,0 +1,243 @@
+"""Tests for profile snapshots, folded export, and the diff engine."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import perf
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+
+
+def _profiled_run():
+    profiler = Profiler()
+    profiler.configure(MetricsRegistry())
+    with profiler.span("decode"):
+        with profiler.span("newton"):
+            sum(range(5000))
+        with profiler.span("rootfind"):
+            sum(range(5000))
+    profiler.disable()
+    return profiler
+
+
+class TestProfileSnapshot:
+    def test_snapshot_carries_sorted_paths(self):
+        profiler = _profiled_run()
+        doc = perf.profile_snapshot(profiler, scenario="unit", seed=7,
+                                    git_rev="abc1234")
+        assert doc["kind"] == "profile"
+        assert doc["schema"] == perf.PROFILE_SCHEMA
+        assert doc["scenario"] == "unit"
+        assert doc["seed"] == 7
+        assert doc["git_rev"] == "abc1234"
+        paths = [span["path"] for span in doc["spans"]]
+        assert paths == sorted(paths)
+        assert "decode;newton" in paths
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        doc = perf.profile_snapshot(_profiled_run(), scenario="unit",
+                                    git_rev=None)
+        path = str(tmp_path / "PROFILE_unit.json")
+        perf.write_profile(doc, path)
+        loaded = perf.load_profile(path)
+        assert loaded == json.loads(json.dumps(doc))
+
+    def test_load_rejects_non_profile(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"kind": "telemetry"}')
+        with pytest.raises(ObservabilityError):
+            perf.load_profile(str(path))
+
+    def test_format_profile_lists_heaviest_paths(self):
+        doc = perf.profile_snapshot(_profiled_run(), scenario="unit",
+                                    git_rev=None)
+        text = perf.format_profile(doc, top=2)
+        assert "profile: unit" in text
+        assert "more path(s)" in text  # 3 paths, top=2
+
+    def test_format_profile_includes_flow_table(self):
+        doc = perf.profile_snapshot(
+            _profiled_run(), scenario="unit", git_rev=None,
+            flows={"kind": "flow-accounts", "schema": 1,
+                   "total_bank_bytes": 82,
+                   "flows": {"flow0": {"observed": 4, "frames_emitted": 2,
+                                       "bytes_emitted": 164,
+                                       "bank_bytes": 82}}})
+        text = perf.format_profile(doc)
+        assert "flow0" in text
+        assert "164" in text
+
+
+class TestFolded:
+    def test_folded_lines_are_sorted_integer_microseconds(self):
+        doc = perf.profile_snapshot(_profiled_run(), git_rev=None)
+        text = perf.render_folded(doc)
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack
+            assert int(weight) > 0
+
+    def test_folded_omits_zero_weight_paths(self):
+        doc = {"kind": "profile", "schema": 1,
+               "spans": [{"path": "a", "self_s": 0.0},
+                         {"path": "b", "self_s": 0.5}]}
+        assert perf.render_folded(doc) == "b 500000"
+
+    def test_write_folded(self, tmp_path):
+        doc = perf.profile_snapshot(_profiled_run(), git_rev=None)
+        path = str(tmp_path / "out.folded")
+        perf.write_folded(doc, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read().rstrip("\n") == perf.render_folded(doc)
+
+
+class TestClassifyFlatten:
+    def test_classify_bench(self):
+        assert perf.classify_snapshot(
+            {"area": "quack", "metrics": {}}) == "bench"
+
+    def test_classify_unknown_raises(self):
+        with pytest.raises(ObservabilityError):
+            perf.classify_snapshot({"kind": "mystery"})
+
+    def test_flatten_bench_uses_means(self):
+        kind, flat, rev = perf.flatten_snapshot({
+            "area": "quack", "git_rev": "abc",
+            "metrics": {"decode_us": {"mean": 120.0, "stdev": 3.0}}})
+        assert kind == "bench"
+        assert flat == {"decode_us": 120.0}
+        assert rev == "abc"
+
+    def test_flatten_profile_self_time_and_calls(self):
+        doc = perf.profile_snapshot(_profiled_run(), git_rev="r1")
+        kind, flat, rev = perf.flatten_snapshot(doc)
+        assert kind == "profile"
+        assert rev == "r1"
+        assert "decode;newton" in flat
+        assert flat["calls:decode;newton"] == 1.0
+
+
+class TestDiff:
+    def test_ranking_is_deterministic_and_severity_ordered(self):
+        entries = perf.diff_flat(
+            {"a": 1.0, "b": 1.0, "c": 1.0, "gone": 5.0},
+            {"a": 3.0, "b": 1.1, "c": 1.0, "new": 2.0})
+        names = [entry.name for entry in entries]
+        # One-sided entries first (inf severity), name tie-break.
+        assert names[:2] == ["gone", "new"]
+        assert names[2] == "a"  # 3x beats 1.1x
+        severities = [entry.severity for entry in entries]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_one_sided_never_trips_threshold(self):
+        entries = perf.diff_flat({"gone": 5.0}, {"new": 2.0})
+        assert all(not entry.exceeded for entry in entries)
+        assert all(math.isinf(entry.severity) for entry in entries)
+
+    def test_threshold_symmetry(self):
+        entries = perf.diff_flat({"up": 1.0, "down": 9.0, "flat": 1.0},
+                                 {"up": 3.0, "down": 3.0, "flat": 1.2},
+                                 threshold=2.0)
+        by_name = {entry.name: entry for entry in entries}
+        assert by_name["up"].exceeded
+        assert by_name["down"].exceeded  # a 3x improvement also ranks
+        assert not by_name["flat"].exceeded
+
+    def test_noise_floor_drops_tiny_series(self):
+        entries = perf.diff_flat({"tiny": 1e-12}, {"tiny": 9e-12},
+                                 min_abs=1e-9)
+        assert entries == []
+
+    def test_zero_crossing_exceeds(self):
+        entries = perf.diff_flat({"z": 0.0}, {"z": 4.0})
+        assert entries[0].exceeded
+        assert entries[0].note == "moved across zero"
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(ObservabilityError):
+            perf.diff_flat({}, {}, threshold=1.0)
+
+    def test_diff_files_bench_kind(self, tmp_path):
+        def write(name, mean):
+            path = tmp_path / name
+            path.write_text(json.dumps({
+                "schema": 1, "area": "quack", "git_rev": f"rev-{name}",
+                "metrics": {"decode_us": {"mean": mean}}}))
+            return str(path)
+
+        report = perf.diff_files(write("a.json", 100.0),
+                                 write("b.json", 500.0))
+        assert report.kind == "bench"
+        assert report.baseline_rev == "rev-a.json"
+        assert not report.ok
+        text = perf.format_diff(report)
+        assert "FAIL" in text
+        assert "rev-a.json" in text
+
+    def test_diff_mismatched_kinds_raise(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps({"area": "x", "metrics": {}}))
+        profile = tmp_path / "prof.json"
+        profile.write_text(json.dumps({"kind": "profile", "schema": 1,
+                                       "spans": []}))
+        with pytest.raises(ObservabilityError):
+            perf.diff_files(str(bench), str(profile))
+
+    def test_diff_profiles(self, tmp_path):
+        doc_a = perf.profile_snapshot(_profiled_run(), git_rev=None)
+        doc_b = json.loads(json.dumps(doc_a))
+        for span in doc_b["spans"]:
+            span["self_s"] *= 10.0
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        perf.write_profile(doc_a, a)
+        perf.write_profile(doc_b, b)
+        report = perf.diff_files(a, b)
+        assert report.kind == "profile"
+        assert not report.ok
+
+    def test_diff_telemetry_snapshots(self, tmp_path):
+        from repro import obs
+        from repro.obs.aggregate import mergeable_snapshot
+
+        obs.reset()
+        obs.enable_metrics()
+        obs.count("quack_decodes_total", status="ok")
+        snapshot = mergeable_snapshot(obs.METRICS)
+        obs.disable()
+        obs.reset()
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(snapshot))
+        b.write_text(json.dumps(snapshot))
+        report = perf.diff_files(str(a), str(b))
+        assert report.kind == "telemetry"
+        assert report.ok  # identical sides
+
+
+class TestSpanHints:
+    def test_hints_name_moved_paths(self, tmp_path):
+        from repro.bench.store import profile_path
+
+        base_dir = tmp_path / "base"
+        cur_dir = tmp_path / "cur"
+        doc = perf.profile_snapshot(_profiled_run(), git_rev=None)
+        moved = json.loads(json.dumps(doc))
+        for span in moved["spans"]:
+            span["self_s"] *= 5.0
+        perf.write_profile(doc, profile_path(str(base_dir), "quack"))
+        perf.write_profile(moved, profile_path(str(cur_dir), "quack"))
+        hints = perf.span_regression_hints(str(cur_dir), str(base_dir),
+                                           ["quack"], min_abs=0.0)
+        assert "area quack" in hints
+        assert "calls:" not in hints
+
+    def test_missing_profiles_are_skipped_silently(self, tmp_path):
+        hints = perf.span_regression_hints(str(tmp_path), str(tmp_path),
+                                           ["quack", "obs"])
+        assert hints == ""

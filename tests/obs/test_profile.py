@@ -1,4 +1,6 @@
-"""Tests for the wall-clock profiler."""
+"""Tests for the hierarchical wall-clock profiler."""
+
+import pytest
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import SPAN_METRIC, Profiler
@@ -46,3 +48,117 @@ class TestProfiler:
         profiler.end("x", started)
         assert SPAN_METRIC not in registry.snapshot() \
             or not registry.snapshot()[SPAN_METRIC]["series"]
+
+
+class TestHierarchy:
+    def _configured(self):
+        profiler = Profiler()
+        profiler.configure(MetricsRegistry())
+        return profiler
+
+    def test_nested_spans_build_call_paths(self):
+        profiler = self._configured()
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        stats = profiler.path_stats()
+        assert set(stats) == {("outer",), ("outer", "inner")}
+        assert stats[("outer", "inner")].calls == 1
+        assert stats[("outer",)].calls == 1
+
+    def test_self_time_excludes_children(self):
+        profiler = self._configured()
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                sum(range(20_000))
+        stats = profiler.path_stats()
+        outer = stats[("outer",)]
+        inner = stats[("outer", "inner")]
+        assert outer.cum_seconds >= inner.cum_seconds
+        assert outer.self_seconds <= outer.cum_seconds - inner.cum_seconds \
+            + 1e-9
+        assert inner.self_seconds == pytest.approx(inner.cum_seconds)
+
+    def test_reentrant_same_name_nests(self):
+        profiler = self._configured()
+        with profiler.span("work"):
+            with profiler.span("work"):
+                pass
+        stats = profiler.path_stats()
+        assert set(stats) == {("work",), ("work", "work")}
+
+    def test_exception_inside_span_unwinds_stack(self):
+        profiler = self._configured()
+        with pytest.raises(ValueError):
+            with profiler.span("outer"):
+                with profiler.span("inner"):
+                    raise ValueError("boom")
+        assert profiler.depth == 0
+        stats = profiler.path_stats()
+        assert ("outer", "inner") in stats
+        assert ("outer",) in stats
+
+    def test_abandoned_explicit_begin_is_discarded_as_orphan(self):
+        profiler = self._configured()
+        with profiler.span("outer"):
+            # An explicit begin whose end is skipped by an exception.
+            profiler.begin("leaky")
+        # The orphan was discarded when "outer" ended: depth balanced,
+        # no "leaky" path recorded, later spans attribute normally.
+        assert profiler.depth == 0
+        with profiler.span("next"):
+            pass
+        stats = profiler.path_stats()
+        assert all("leaky" not in path for path in stats)
+        assert ("next",) in stats
+
+    def test_end_without_begin_records_flat_at_root(self):
+        profiler = self._configured()
+        profiler.end("stray", 1.0)  # started while disabled, say
+        assert ("stray",) in profiler.path_stats()
+
+    def test_hierarchical_totals_equal_flat_histogram_sums(self):
+        """Differential guard: per-name cum time across paths must equal
+        the flat ``obs_span_seconds`` histogram the old profiler fed."""
+        registry = MetricsRegistry()
+        profiler = Profiler()
+        profiler.configure(registry)
+        for _ in range(3):
+            with profiler.span("decode"):
+                with profiler.span("newton"):
+                    sum(range(1000))
+                with profiler.span("rootfind"):
+                    pass
+        with profiler.span("newton"):  # same name, different path
+            pass
+        by_name: dict[str, float] = {}
+        for path, stat in profiler.path_stats().items():
+            by_name[path[-1]] = by_name.get(path[-1], 0.0) \
+                + stat.cum_seconds
+        series = registry.snapshot()[SPAN_METRIC]["series"]
+        flat = {entry["labels"]["span"]: entry["value"]
+                for entry in series}
+        assert set(flat) == set(by_name)
+        for name, value in flat.items():
+            assert by_name[name] == pytest.approx(value["sum"], rel=1e-9)
+        assert flat["newton"]["count"] == 4
+        assert flat["decode"]["count"] == 3
+
+    def test_reset_clears_paths_and_open_frames(self):
+        profiler = self._configured()
+        profiler.begin("open")
+        profiler.reset()
+        assert profiler.path_stats() == {}
+        assert profiler.depth == 0
+
+    def test_allocation_tracking_attributes_bytes(self):
+        profiler = Profiler()
+        profiler.configure(MetricsRegistry(), allocations=True)
+        try:
+            with profiler.span("alloc"):
+                keep = [bytearray(64 * 1024)]
+                assert keep
+        finally:
+            profiler.disable()
+        stat = profiler.path_stats()[("alloc",)]
+        assert stat.alloc_bytes > 0

@@ -1,0 +1,82 @@
+"""Tests for the per-flow middlebox resource ledger."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.sidecar.accounting import FLOW_ACCOUNTS, FlowAccounts
+from repro.sidecar.emitter import QuackEmitter
+
+
+@pytest.fixture(autouse=True)
+def _ledger_clean():
+    FLOW_ACCOUNTS.disarm()
+    FLOW_ACCOUNTS.reset()
+    yield
+    FLOW_ACCOUNTS.disarm()
+    FLOW_ACCOUNTS.reset()
+
+
+class TestFlowAccounts:
+    def test_disarmed_by_default(self):
+        assert not FlowAccounts().armed
+        assert not FLOW_ACCOUNTS.armed
+
+    def test_observe_and_emit_accumulate(self):
+        ledger = FlowAccounts()
+        ledger.arm()
+        ledger.on_observe("f1", bank_bytes=80)
+        ledger.on_observe("f1", bank_bytes=82)
+        ledger.on_emit("f1", frame_bytes=41)
+        snapshot = ledger.snapshot()
+        account = snapshot["flows"]["f1"]
+        assert account["observed"] == 2
+        assert account["bank_bytes"] == 82  # latest resident size wins
+        assert account["frames_emitted"] == 1
+        assert account["bytes_emitted"] == 41
+        assert snapshot["total_bank_bytes"] == 82
+
+    def test_top_is_deterministic_and_validates_key(self):
+        ledger = FlowAccounts()
+        ledger.arm()
+        ledger.on_observe("a", bank_bytes=10)
+        ledger.on_observe("b", bank_bytes=10)
+        ledger.on_observe("c", bank_bytes=99)
+        top = ledger.top(2)
+        assert [flow for flow, _ in top] == ["c", "a"]  # value desc, name
+        with pytest.raises(ObservabilityError):
+            ledger.top(key="not_a_field")
+
+    def test_reset_clears_flows(self):
+        ledger = FlowAccounts()
+        ledger.arm()
+        ledger.on_observe("f1", bank_bytes=10)
+        ledger.reset()
+        assert ledger.flows == 0
+
+
+class TestEmitterIntegration:
+    def test_disarmed_emitter_records_nothing(self):
+        emitter = QuackEmitter(4, flow="flow0")
+        for index in range(4):
+            emitter.observe(index + 1, now=0.01 * index)
+        assert FLOW_ACCOUNTS.flows == 0
+
+    def test_armed_emitter_feeds_the_ledger(self):
+        FLOW_ACCOUNTS.arm()
+        emitter = QuackEmitter(4, flow="flow0")
+        for index in range(4):  # emit policy: every 2 packets
+            emitter.observe(index + 1, now=0.01 * index)
+        snapshot = FLOW_ACCOUNTS.snapshot()
+        account = snapshot["flows"]["flow0"]
+        assert account["observed"] == 4
+        assert account["frames_emitted"] == 2
+        assert account["bytes_emitted"] == emitter.stats.emitted_bytes
+        assert account["bank_bytes"] == \
+            (emitter.quack.wire_size_bits() + 7) // 8
+
+    def test_observe_flow_override_wins(self):
+        FLOW_ACCOUNTS.arm()
+        emitter = QuackEmitter(4, flow="default")
+        emitter.observe(1, now=0.0, flow="override")
+        snapshot = FLOW_ACCOUNTS.snapshot()
+        assert snapshot["flows"]["override"]["observed"] == 1

@@ -311,3 +311,110 @@ class TestBench:
                           "--current", str(tmp_path / "a"),
                           "--baseline", str(tmp_path / "b"))
         assert code == 2
+
+
+class TestProfileCommand:
+    def test_profile_prints_call_paths_and_flows(self, capsys):
+        code, out = run_cli(capsys, "profile", "retransmission",
+                            "--total", "60000", "--top", "8")
+        assert code == 0
+        assert "profile: retransmission" in out
+        assert "quack.decode;quack.newton" in out
+        assert "flow0" in out  # per-flow middlebox accounting table
+
+    def test_profile_writes_flame_and_json(self, capsys, tmp_path):
+        flame = tmp_path / "out.folded"
+        snapshot = tmp_path / "out.json"
+        code, _ = run_cli(capsys, "profile", "retransmission",
+                          "--total", "60000", "--flame", str(flame),
+                          "--json", str(snapshot))
+        assert code == 0
+        folded = flame.read_text().splitlines()
+        assert folded == sorted(folded)
+        assert any(line.startswith("quack.decode;") for line in folded)
+        import json as _json
+
+        doc = _json.loads(snapshot.read_text())
+        assert doc["kind"] == "profile"
+        assert doc["scenario"] == "retransmission"
+
+    def test_profile_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "frobnicate"])
+
+
+class TestDiffCommand:
+    def _write_bench(self, tmp_path, name, mean):
+        import json as _json
+
+        path = tmp_path / name
+        path.write_text(_json.dumps({
+            "schema": 1, "area": "quack",
+            "metrics": {"decode_us": {"mean": mean}}}))
+        return str(path)
+
+    def test_diff_ok_exits_zero(self, capsys, tmp_path):
+        a = self._write_bench(tmp_path, "a.json", 100.0)
+        b = self._write_bench(tmp_path, "b.json", 110.0)
+        code, out = run_cli(capsys, "diff", a, b)
+        assert code == 0
+        assert "OK: no series moved" in out
+
+    def test_diff_moved_exits_one(self, capsys, tmp_path):
+        a = self._write_bench(tmp_path, "a.json", 100.0)
+        b = self._write_bench(tmp_path, "b.json", 500.0)
+        code, out = run_cli(capsys, "diff", a, b)
+        assert code == 1
+        assert "MOVED" in out and "FAIL" in out
+
+    def test_diff_bad_input_exits_two(self, capsys, tmp_path):
+        a = self._write_bench(tmp_path, "a.json", 100.0)
+        code, _ = run_cli(capsys, "diff", a, str(tmp_path / "nope.json"))
+        assert code == 2
+
+    def test_bench_compare_prints_span_hints_on_failure(self, capsys,
+                                                        tmp_path):
+        import json as _json
+
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        code, _ = run_cli(capsys, "bench", "record", "--quick",
+                          "--areas", "quack", "--dir", str(base))
+        assert code == 0
+        assert (base / "PROFILE_quack.json").exists()
+        cur.mkdir()
+        bench = _json.loads((base / "BENCH_quack.json").read_text())
+        bench["metrics"]["quack_bytes"]["mean"] *= 3
+        (cur / "BENCH_quack.json").write_text(_json.dumps(bench))
+        profile = _json.loads((base / "PROFILE_quack.json").read_text())
+        for span in profile["spans"]:
+            span["self_s"] *= 100.0
+        (cur / "PROFILE_quack.json").write_text(_json.dumps(profile))
+        code, out = run_cli(capsys, "bench", "compare",
+                            "--current", str(cur), "--baseline", str(base))
+        assert code == 1
+        assert "top span movements for area quack" in out
+
+
+class TestFlightEvents:
+    def test_chaos_flight_events_sets_ring_capacity(self, capsys, tmp_path):
+        from repro import obs
+
+        code, _ = run_cli(capsys, "chaos", "blackout", "--seed", "1",
+                          "--total", str(1460 * 200),
+                          "--flight-dir", str(tmp_path),
+                          "--flight-events", "64")
+        assert code == 0
+        # configure() stored the requested ring capacity; the command
+        # disarmed the recorder again on exit.
+        assert obs.FLIGHT.last_n == 64
+        assert not obs.FLIGHT.armed
+
+    def test_vectors_check_accepts_flight_events(self, capsys, tmp_path):
+        from repro import obs
+
+        code, _ = run_cli(capsys, "vectors", "check",
+                          "--flight-dir", str(tmp_path),
+                          "--flight-events", "128")
+        assert code == 0
+        assert obs.FLIGHT.last_n == 128
+        assert not obs.FLIGHT.armed
