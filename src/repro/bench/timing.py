@@ -63,6 +63,36 @@ def measure(fn: Callable[[], object], trials: int = 100,
     )
 
 
+def measure_staged(setup: Callable[[], object],
+                   stage: Callable[[object], object],
+                   trials: int = 100, warmup: int = 3) -> TimingResult:
+    """Time ``stage(setup())`` with only ``stage`` inside the clock.
+
+    For consume-once workloads (e.g. draining a pre-loaded event queue)
+    where the preparation cost must not pollute the measured rate:
+    ``setup`` builds a fresh workload per trial, untimed; ``stage``
+    consumes it, timed.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    for _ in range(warmup):
+        stage(setup())
+    samples = []
+    for _ in range(trials):
+        prepared = setup()
+        start = time.perf_counter()
+        stage(prepared)
+        samples.append(time.perf_counter() - start)
+    return TimingResult(
+        trials=trials,
+        mean=statistics.fmean(samples),
+        median=statistics.median(samples),
+        stdev=statistics.stdev(samples) if trials > 1 else 0.0,
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
 def measure_throughput(fn: Callable[[], object], items_per_call: int,
                        trials: int = 20, warmup: int = 2) -> float:
     """Items processed per second (e.g. digests/s for the Strawman 2

@@ -12,7 +12,14 @@ Public surface:
 * measurement helpers in :mod:`repro.netsim.trace`.
 """
 
-from repro.netsim.core import EventHandle, Simulator
+from repro.netsim.core import (
+    EventHandle,
+    Simulator,
+    Timer,
+    default_scheduler,
+    set_default_scheduler,
+)
+from repro.netsim.sched import CalendarScheduler, HeapScheduler
 from repro.netsim.faults import (
     Blackout,
     BurstLoss,
@@ -47,6 +54,11 @@ from repro.netsim.trace import EventTrace, FlowMonitor, PacketCounter
 __all__ = [
     "Simulator",
     "EventHandle",
+    "Timer",
+    "HeapScheduler",
+    "CalendarScheduler",
+    "default_scheduler",
+    "set_default_scheduler",
     "Packet",
     "PacketKind",
     "Link",

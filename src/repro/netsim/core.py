@@ -2,57 +2,72 @@
 
 This is the substrate on which the sidecar protocols (paper, Section 2)
 are exercised: hosts, proxies, and links are processes exchanging packets
-in virtual time.  The design is a classic event-heap simulator:
+in virtual time.  The simulator owns the clock; the event queue itself is
+a pluggable backend from :mod:`repro.netsim.sched`:
 
-* :class:`Simulator` owns the clock and the event heap;
-* :meth:`Simulator.schedule` registers a callback after a delay and
-  returns an :class:`EventHandle` that can be cancelled (timers);
-* :meth:`Simulator.run` drains events until a deadline or quiescence.
+* ``scheduler="calendar"`` (the default) -- a two-level calendar queue
+  with batched same-bucket dispatch and a slotted timer wheel for
+  recurring clocks (ROADMAP item 5);
+* ``scheduler="heap"`` -- the classic one-heappush-per-event binary
+  heap, kept as the differential oracle
+  (``tests/netsim/test_scheduler_differential.py`` proves the two
+  produce byte-identical traces).
 
 Virtual time is in float seconds.  Events at equal times fire in the order
-they were scheduled (a monotonic sequence number breaks ties), which keeps
-runs deterministic for a fixed seed.
+they were scheduled (a monotonic sequence number breaks ties) under
+*either* backend, which keeps runs deterministic for a fixed seed -- see
+DESIGN.md section 15 for the determinism contract.
+
+The process-wide default backend can be overridden with
+:func:`set_default_scheduler` or the ``REPRO_SCHEDULER`` environment
+variable (which also reaches fork-spawned sweep workers).
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+import os
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.netsim.sched import (  # noqa: F401  (re-exported surface)
+    SCHEDULERS,
+    CalendarScheduler,
+    EventHandle,
+    HeapScheduler,
+    Timer,
+)
+
+_FALLBACK_SCHEDULER = "calendar"
+_default_scheduler: str | None = None
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+def set_default_scheduler(name: str | None) -> None:
+    """Set the process-wide default scheduler backend.
+
+    ``None`` restores the built-in resolution order (``REPRO_SCHEDULER``
+    env var, then ``"calendar"``).  Affects only simulators constructed
+    afterwards.
+    """
+    if name is not None and name not in SCHEDULERS:
+        raise SimulationError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}")
+    global _default_scheduler
+    _default_scheduler = name
 
 
-class EventHandle:
-    """Cancellable reference to a scheduled event."""
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: _Event) -> None:
-        self._event = event
-
-    def cancel(self) -> None:
-        """Prevent the event from firing (idempotent, safe after firing)."""
-        self._event.cancelled = True
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
-
-    @property
-    def time(self) -> float:
-        """The virtual time at which the event fires (or would have)."""
-        return self._event.time
+def default_scheduler() -> str:
+    """Resolve the backend a ``Simulator()`` call would use right now."""
+    if _default_scheduler is not None:
+        return _default_scheduler
+    env = os.environ.get("REPRO_SCHEDULER", "").strip()
+    if env:
+        if env not in SCHEDULERS:
+            raise SimulationError(
+                f"REPRO_SCHEDULER={env!r} is not a scheduler; "
+                f"choose from {sorted(SCHEDULERS)}")
+        return env
+    return _FALLBACK_SCHEDULER
 
 
 class Simulator:
@@ -60,24 +75,39 @@ class Simulator:
 
     The loop keeps always-on resource counters (one integer add per
     operation): ``events_dispatched`` callbacks executed,
-    ``heap_pushes``/``heap_pops`` heap operations, and
-    ``events_cancelled_dropped`` cancelled events discarded without
-    running.  They are the raw material for the simulator-core bench
-    area (``BENCH_simcore.json``) that tracks events- and
-    packets-processed-per-second across scheduler rework (ROADMAP
-    item 5): heap ops per dispatched event is the deterministic cost
-    signature a calendar-queue core must beat.
+    ``heap_pushes``/``heap_pops`` binary-heap operations (under the
+    calendar backend these count only the residual heap traffic --
+    far-future overflow and mid-batch arrivals -- so the ratio of heap
+    ops to dispatched events is the cost signature the calendar queue
+    beats), and ``events_cancelled_dropped`` cancelled events discarded
+    without running.  They feed the simulator-core bench area
+    (``BENCH_simcore.json``, ROADMAP item 5).
     """
 
-    def __init__(self) -> None:
-        self._heap: list[_Event] = []
+    def __init__(self, scheduler: str | None = None) -> None:
+        name = scheduler if scheduler is not None else default_scheduler()
+        try:
+            backend_cls = SCHEDULERS[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown scheduler {name!r}; choose from "
+                f"{sorted(SCHEDULERS)}") from None
+        self._sched = backend_cls()
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
-        self.events_dispatched = 0
-        self.heap_pushes = 0
-        self.heap_pops = 0
-        self.events_cancelled_dropped = 0
+        # Fused fast paths: the backend supplies one-frame closures that
+        # validate, allocate the handle, and place the entry without a
+        # second method dispatch.  Bound as instance attributes, they
+        # shadow the class-level reference implementations below (kept
+        # as the documented spec both must match).
+        self.schedule = self._sched.bind_schedule(self)
+        self.schedule_at = self._sched.bind_schedule_at(self)
+
+    @property
+    def scheduler_name(self) -> str:
+        """Which backend this simulator runs on ("heap" or "calendar")."""
+        return self._sched.name
 
     @property
     def now(self) -> float:
@@ -86,28 +116,47 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args: Any) -> EventHandle:
-        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time.
+
+        Reference implementation; instances carry a fused backend
+        closure with identical semantics (see ``__init__``).
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        event = EventHandle(time, next(self._seq), callback, args)
+        self._sched.insert(event)
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., None],
                     *args: Any) -> EventHandle:
-        """Run ``callback(*args)`` at the absolute virtual ``time``."""
+        """Run ``callback(*args)`` at the absolute virtual ``time``.
+
+        Reference implementation; instances carry a fused backend
+        closure with identical semantics (see ``__init__``).
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time:.9f}, current time is {self._now:.9f}"
             )
-        event = _Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
-        self.heap_pushes += 1
-        return EventHandle(event)
+        event = EventHandle(time, next(self._seq), callback, args)
+        self._sched.insert(event)
+        return event
+
+    def timer(self, callback: Callable[..., None], *args: Any) -> Timer:
+        """A reusable rearm-able timer bound to ``callback(*args)``.
+
+        The handle of choice for recurring clocks (emission, PTO,
+        checkpoints): one wheel-slot insert per :meth:`Timer.rearm`, the
+        superseded arm tombstoned in place.
+        """
+        return Timer(self, callback, *args)
 
     def run(self, until: float | None = None,
             max_events: int | None = None) -> int:
-        """Drain the event heap.
+        """Drain the event queue.
 
-        Stops when the heap empties, when the next event lies beyond
+        Stops when the queue empties, when the next event lies beyond
         ``until`` (the clock then advances to exactly ``until``), or after
         ``max_events`` callbacks (a runaway guard for tests).  Returns the
         number of callbacks executed.
@@ -115,23 +164,8 @@ class Simulator:
         if self._running:
             raise SimulationError("run() re-entered from inside an event callback")
         self._running = True
-        executed = 0
         try:
-            while self._heap:
-                if max_events is not None and executed >= max_events:
-                    break
-                event = self._heap[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self.heap_pops += 1
-                if event.cancelled:
-                    self.events_cancelled_dropped += 1
-                    continue
-                self._now = event.time
-                event.callback(*event.args)
-                executed += 1
-                self.events_dispatched += 1
+            executed = self._sched.drain(self, until, max_events)
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -140,22 +174,38 @@ class Simulator:
 
     def peek_next_time(self) -> float | None:
         """Virtual time of the next live event, or None if idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self.heap_pops += 1
-            self.events_cancelled_dropped += 1
-        return self._heap[0].time if self._heap else None
+        return self._sched.peek_time()
 
     @property
     def pending_events(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._sched.pending()
 
-    def resource_stats(self) -> dict[str, int]:
-        """The loop's always-on resource counters, as a plain dict."""
-        return {
-            "events_dispatched": self.events_dispatched,
-            "heap_pushes": self.heap_pushes,
-            "heap_pops": self.heap_pops,
-            "events_cancelled_dropped": self.events_cancelled_dropped,
-        }
+    # -- resource counters (delegated to the backend) ---------------------------
+
+    @property
+    def events_dispatched(self) -> int:
+        return self._sched.events_dispatched
+
+    @property
+    def heap_pushes(self) -> int:
+        return self._sched.heap_pushes
+
+    @property
+    def heap_pops(self) -> int:
+        return self._sched.heap_pops
+
+    @property
+    def events_cancelled_dropped(self) -> int:
+        return self._sched.events_cancelled_dropped
+
+    def resource_stats(self) -> dict[str, Any]:
+        """The loop's always-on resource counters, as a plain dict.
+
+        Always contains the four classic counters; the calendar backend
+        adds ``bucket_inserts``, ``batch_dispatches``, and
+        ``overflow_migrations``.  ``scheduler`` names the backend.
+        """
+        stats: dict[str, Any] = {"scheduler": self._sched.name}
+        stats.update(self._sched.stats())
+        return stats

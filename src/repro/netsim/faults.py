@@ -51,12 +51,14 @@ def in_window(windows: Sequence[Window], now: float) -> bool:
     return any(start <= now < end for start, end in windows)
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultDecision:
     """What should happen to one packet.
 
     ``copies`` is the *total* number of deliveries: 1 is normal, 2 means
     the datagram was duplicated, 0 is equivalent to ``drop``.
+
+    Allocated on the per-packet fast path, hence ``slots=True``.
     """
 
     drop: bool = False
@@ -73,7 +75,7 @@ class FaultDecision:
 _NO_FAULT = FaultDecision()
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultInjectorStats:
     considered: int = 0
     dropped: int = 0

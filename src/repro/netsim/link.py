@@ -86,6 +86,10 @@ class Link:
         self.stats = LinkStats()
         self._queue: list[Packet] = []
         self._transmitting = False
+        # The link serializes one packet at a time, so a single reusable
+        # timer carries every end-of-serialization event: one wheel-slot
+        # insert per packet, no per-packet handle allocation.
+        self._tx_timer = sim.timer(self._finish_transmission)
 
     # -- ingress -----------------------------------------------------------
 
@@ -132,7 +136,7 @@ class Link:
         self._transmitting = True
         tx_time = self.serialization_delay(packet.size_bytes)
         self.stats.busy_seconds += tx_time
-        self.sim.schedule(tx_time, self._finish_transmission)
+        self._tx_timer.rearm(tx_time)
 
     def _propagation_delay(self) -> float:
         """Per-packet propagation delay; subclasses may add jitter."""

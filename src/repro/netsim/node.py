@@ -29,7 +29,13 @@ from repro.netsim.packet import Packet, PacketKind
 
 
 class Node(ABC):
-    """A network element with named outgoing links and a routing table."""
+    """A network element with named outgoing links and a routing table.
+
+    Nodes are allocated in bulk by large sweeps (one per simulated
+    element), so the hierarchy is ``__slots__``-based.
+    """
+
+    __slots__ = ("sim", "name", "links", "routes")
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
@@ -79,6 +85,8 @@ class Host(Node):
     hosts are installing a library", Section 2.1).
     """
 
+    __slots__ = ("_handlers", "received_count")
+
     def __init__(self, sim: Simulator, name: str) -> None:
         super().__init__(sim, name)
         self._handlers: dict[PacketKind, list[Callable[[Packet], None]]] = {}
@@ -116,6 +124,8 @@ class ForwardingPolicy(Protocol):
 
 class Router(Node):
     """Forwards packets toward their destination; hosts sidecar taps."""
+
+    __slots__ = ("taps", "policy", "forwarded_count")
 
     def __init__(self, sim: Simulator, name: str) -> None:
         super().__init__(sim, name)

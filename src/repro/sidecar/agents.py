@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.errors import QuackError, WireFormatError
-from repro.netsim.core import EventHandle, Simulator
+from repro.netsim.core import Simulator
 from repro.netsim.node import Host, Router
 from repro.netsim.packet import Packet, PacketKind
 from repro.quack import wire
@@ -188,11 +188,12 @@ class _EmitterMixin:
                 f"checkpoint interval must be > 0, got {interval_s}")
         self.checkpoints = store
         self.checkpoint_interval_s = interval_s
-        self.sim.schedule(interval_s, self._checkpoint_tick)
+        self._checkpoint_timer = self.sim.timer(self._checkpoint_tick)
+        self._checkpoint_timer.rearm(interval_s)
 
     def _checkpoint_tick(self) -> None:
         self._take_checkpoint()
-        self.sim.schedule(self.checkpoint_interval_s, self._checkpoint_tick)
+        self._checkpoint_timer.rearm(self.checkpoint_interval_s)
 
     def _take_checkpoint(self) -> None:
         """Serialize the accumulator to stable storage (latest wins)."""
@@ -357,7 +358,10 @@ class HostEmitterAgent(_EmitterMixin):
         host.add_handler(PacketKind.CONTROL, self._on_control)
         interval = policy.interval_hint()
         if interval is not None:
-            sim.schedule(interval, self._tick, interval)
+            # The emission clock lives on one reusable timer for the
+            # agent's whole life (one wheel-slot insert per tick).
+            self._tick_timer = sim.timer(self._tick, interval)
+            self._tick_timer.rearm(interval)
 
     def _observe(self, packet: Packet) -> None:
         if packet.flow_id != self.flow_id or packet.identifier is None:
@@ -381,7 +385,7 @@ class HostEmitterAgent(_EmitterMixin):
     def _tick(self, interval: float) -> None:
         if self.emitter.pending_packets:
             self._send(self.emitter.emit(self.sim.now))
-        self.sim.schedule(interval, self._tick, interval)
+        self._tick_timer.rearm(interval)
 
     def _send(self, snapshot) -> None:
         if not self.negotiated:
@@ -509,7 +513,9 @@ class ServerSidecar:
         self._peer: str | None = peer
         self._last_emitter_count: int | None = None
         self._epoch_confirmed = True
-        self._retry_handle: EventHandle | None = None
+        # Reusable arm for the reset-retry backoff clock: each backoff
+        # step tombstones the previous arm instead of churning the queue.
+        self._retry_timer = sim.timer(self._retry_reset)
         self._retry_delay = 0.0
         self._reset_reason = "decode failures"
         #: Simulator time of the last quACK-decoded loss fed to the
@@ -530,7 +536,9 @@ class ServerSidecar:
         self.monitor = HealthMonitor(health) if health is not None else None
         if self.monitor is not None:
             interval = self.monitor.config.stale_after / 2
-            sim.schedule(interval, self._check_staleness, interval)
+            self._staleness_timer = sim.timer(self._check_staleness,
+                                              interval)
+            self._staleness_timer.rearm(interval)
         # -- capability negotiation (initiator side) --
         self.negotiate = negotiate
         self.negotiated_version: int | None = None
@@ -545,7 +553,8 @@ class ServerSidecar:
             None if negotiate is not None else 0.0
         self._hello: HelloMessage | None = None
         self._expected_transcript: bytes | None = None
-        self._hello_timer: EventHandle | None = None
+        # Reusable arm for the HELLO retransmit clock.
+        self._hello_timer = sim.timer(self._hello_retry)
         self._switch_grace_until: float | None = None
         self._pre_switch_version = 1
         self._switch_confirmed = True
@@ -802,11 +811,9 @@ class ServerSidecar:
                             attempt=self.stats.hellos_sent)
             obs.count("sidecar_hellos_total")
         self.sender.host.send(packet)
-        self._hello_timer = self.sim.schedule(self.negotiate.retry_s,
-                                              self._hello_retry)
+        self._hello_timer.rearm(self.negotiate.retry_s)
 
     def _hello_retry(self) -> None:
-        self._hello_timer = None
         if self.negotiation_complete or self.quarantined:
             return
         if self.stats.hellos_sent >= self.negotiate.strip_after:
@@ -825,9 +832,7 @@ class ServerSidecar:
         self._send_hello()
 
     def _cancel_hello_retry(self) -> None:
-        if self._hello_timer is not None:
-            self._hello_timer.cancel()
-            self._hello_timer = None
+        self._hello_timer.cancel()
 
     def _on_hello_ack(self, packet: Packet, ack: HelloAckMessage) -> None:
         self.stats.hello_acks_received += 1
@@ -1063,18 +1068,12 @@ class ServerSidecar:
     def _arm_retry(self, initial: bool = False) -> None:
         if initial:
             self._retry_delay = 2 * self.settle_time
-        if self._retry_handle is not None:
-            self._retry_handle.cancel()
-        self._retry_handle = self.sim.schedule(self._retry_delay,
-                                               self._retry_reset)
+        self._retry_timer.rearm(self._retry_delay)
 
     def _cancel_retry(self) -> None:
-        if self._retry_handle is not None:
-            self._retry_handle.cancel()
-            self._retry_handle = None
+        self._retry_timer.cancel()
 
     def _retry_reset(self) -> None:
-        self._retry_handle = None
         if self._epoch_confirmed or self.quarantined:
             return
         self.stats.reset_retries += 1
@@ -1100,7 +1099,7 @@ class ServerSidecar:
                 and self.monitor.is_stale(self.sim.now)):
             self.monitor.on_stale(self.sim.now)
             self._sync_health()
-        self.sim.schedule(interval, self._check_staleness, interval)
+        self._staleness_timer.rearm(interval)
 
     def _sync_health(self) -> None:
         """Apply the monitor's verdict to the transport.
@@ -1151,7 +1150,9 @@ class ProxyEmitterTap(_EmitterMixin):
         router.add_tap(self.observe)
         interval = policy.interval_hint()
         if interval is not None:
-            sim.schedule(interval, self._tick, interval)
+            # Same reusable emission clock as the host-side agent.
+            self._tick_timer = sim.timer(self._tick, interval)
+            self._tick_timer.rearm(interval)
 
     def observe(self, packet: Packet) -> None:
         if packet.dst == self.router.name:
@@ -1174,7 +1175,7 @@ class ProxyEmitterTap(_EmitterMixin):
     def _tick(self, interval: float) -> None:
         if self.emitter.pending_packets:
             self._send(self.emitter.emit(self.sim.now))
-        self.sim.schedule(interval, self._tick, interval)
+        self._tick_timer.rearm(interval)
 
     def _send(self, snapshot) -> None:
         if not self.negotiated:

@@ -22,7 +22,7 @@ from repro.sidecar.accounting import FLOW_ACCOUNTS
 from repro.sidecar.frequency import FrequencyPolicy, PacketCountFrequency
 
 
-@dataclass
+@dataclass(slots=True)
 class EmitterStats:
     observed: int = 0
     emitted: int = 0
@@ -36,7 +36,13 @@ class QuackEmitter:
     (:data:`~repro.sidecar.accounting.FLOW_ACCOUNTS`); while the ledger
     is disarmed the accounting hooks cost one attribute load plus a
     branch per call.
+
+    One emitter exists per tracked flow, so the class is
+    ``__slots__``-based for the million-flow regime (ROADMAP item 2).
     """
+
+    __slots__ = ("quack", "policy", "flow", "stats",
+                 "_packets_since_emit", "_last_emit")
 
     def __init__(self, threshold: int, bits: int = 32, count_bits: int = 16,
                  policy: FrequencyPolicy | None = None,

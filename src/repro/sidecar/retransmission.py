@@ -75,7 +75,8 @@ class SenderSideRetxProxy:
         self._window_received = 0
         self._window_lost = 0
         router.add_tap(self._tap)
-        sim.schedule(retune_period_s, self._retune, retune_period_s)
+        self._retune_timer = sim.timer(self._retune, retune_period_s)
+        self._retune_timer.rearm(retune_period_s)
 
     def _tap(self, packet: Packet) -> None:
         if packet.dst == self.router.name:
@@ -148,7 +149,7 @@ class SenderSideRetxProxy:
             self.stats.retunes_sent += 1
             self._window_received = 0
             self._window_lost = 0
-        self.sim.schedule(period, self._retune, period)
+        self._retune_timer.rearm(period)
 
 
 class ReceiverSideRetxProxy:

@@ -171,7 +171,10 @@ class SenderConnection:
         self._retx_queue: list[tuple[int, int, str, float, int | None]] = []
         self._pacing_handle: EventHandle | None = None
         self._next_send_allowed = 0.0
-        self._pto_handle: EventHandle | None = None
+        # One reusable timer carries every PTO arm for the connection's
+        # life: each ACK-driven rearm tombstones the previous arm in
+        # place instead of churning the event queue.
+        self._pto_timer = sim.timer(self._on_pto)
         self._pto_backoff = 0
         self._largest_acked: int | None = None
         self._ce_echoed = 0  # largest cumulative CE count seen in ACKs
@@ -546,17 +549,14 @@ class SenderConnection:
     # -- PTO ---------------------------------------------------------------------
 
     def _arm_pto(self) -> None:
-        if self._pto_handle is not None:
-            self._pto_handle.cancel()
-            self._pto_handle = None
         if self.complete or self.bytes_in_flight == 0:
+            self._pto_timer.cancel()
             return
         interval = self.rtt.pto_interval(self.max_ack_delay,
                                          min(self._pto_backoff, MAX_PTO_BACKOFF))
-        self._pto_handle = self.sim.schedule(interval, self._on_pto)
+        self._pto_timer.rearm(interval)
 
     def _on_pto(self) -> None:
-        self._pto_handle = None
         if self.complete:
             return
         self.stats.pto_fired += 1
@@ -595,9 +595,7 @@ class SenderConnection:
             if obs.TRACER.enabled:
                 obs.TRACER.emit("transport.complete", self.sim.now,
                                 flow=self.flow_id, bytes=self.total_bytes)
-            if self._pto_handle is not None:
-                self._pto_handle.cancel()
-                self._pto_handle = None
+            self._pto_timer.cancel()
             if self.on_complete is not None:
                 self.on_complete(self.sim.now)
 

@@ -49,6 +49,8 @@ class ConnectionProbe:
         self.interval_s = interval_s
         self.samples: list[ConnectionSample] = []
         self._stopped = False
+        # One reusable timer drives the sampling clock.
+        self._tick_timer = sim.timer(self._tick)
         self._tick()
 
     def _tick(self) -> None:
@@ -76,7 +78,7 @@ class ConnectionProbe:
         if self.sender.complete:
             self._stopped = True
             return
-        self.sim.schedule(self.interval_s, self._tick)
+        self._tick_timer.rearm(self.interval_s)
 
     def stop(self) -> None:
         """Stop sampling (idempotent)."""

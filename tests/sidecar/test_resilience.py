@@ -211,7 +211,7 @@ class TestResetRetry:
         run(sim, sender, receiver)
         assert sidecar.epoch >= 1
         assert sidecar._epoch_confirmed
-        assert sidecar._retry_handle is None
+        assert sidecar._retry_timer.next_fire_time is None
 
 
 class TestRestartDetection:
