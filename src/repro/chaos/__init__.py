@@ -15,6 +15,13 @@ Beyond faults, :mod:`repro.chaos.adversary` supplies on-path
 ``forged-power-sum``, ``replay`` and ``equivocation`` plans run them
 under the defense invariants.
 
+:mod:`repro.chaos.overload` attacks *capacity* instead: background
+tenants flood the shared flow table of
+:mod:`repro.sidecar.flowtable` with admissions, churn, and memory
+pressure (the ``tenant-burst``, ``flow-churn-storm``, ``memory-clamp``
+and ``shed-under-adversary`` plans), checking that overload only ever
+removes assistance -- goodput >= unassisted, zero spurious retransmits.
+
 Presentation belongs to the caller: :func:`format_result` renders a
 result as text, and the ``python -m repro chaos`` subcommand is the one
 place that prints it.  Library code returns data and stays silent.
@@ -40,6 +47,13 @@ from repro.chaos.harness import (
     unassisted_baseline,
 )
 from repro.chaos.injectors import MiddleboxCrash, sidecar_corrupter
+from repro.chaos.overload import (
+    BackgroundLoad,
+    ChurnStorm,
+    MemoryClamp,
+    OverloadSpec,
+    TenantBurst,
+)
 
 __all__ = [
     "ChaosPlan",
@@ -59,4 +73,9 @@ __all__ = [
     "ForgedPowerSumAdversary",
     "ReplayAdversary",
     "EquivocationAdversary",
+    "OverloadSpec",
+    "BackgroundLoad",
+    "TenantBurst",
+    "ChurnStorm",
+    "MemoryClamp",
 ]

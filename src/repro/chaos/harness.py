@@ -43,6 +43,13 @@ from repro.chaos.adversary import (
     ReplayAdversary,
 )
 from repro.chaos.injectors import MiddleboxCrash, sidecar_corrupter
+from repro.chaos.overload import (
+    BackgroundLoad,
+    ChurnStorm,
+    MemoryClamp,
+    OverloadSpec,
+    TenantBurst,
+)
 from repro.netsim.core import Simulator
 from repro.netsim.faults import (
     SIDECAR_KINDS,
@@ -58,6 +65,7 @@ from repro.netsim.packet import reset_packet_uids
 from repro.netsim.topology import HopSpec, PathTopology, build_path
 from repro.sidecar.agents import ProxyEmitterTap, ServerSidecar
 from repro.sidecar.defense import DefenseConfig
+from repro.sidecar.flowtable import FlowTable, FlowTableTap
 from repro.sidecar.frequency import PacketCountFrequency
 from repro.sidecar.health import HealthConfig, HealthState, HealthTransition
 from repro.sidecar.negotiate import Capabilities, NegotiateConfig
@@ -104,10 +112,21 @@ class ChaosSetup:
     #: at this simulated time (negotiation must be armed).
     version_switch_at: float | None = None
     version_switch_to: int = 2
+    #: Route the proxy tap through a shared multi-tenant flow table and
+    #: arm the spec's overload drivers against it (tenant ``primary``).
+    overload: OverloadSpec | None = None
+    #: Measure the unassisted baseline even without a defense armed --
+    #: the overload plans promise goodput >= unassisted despite having
+    #: no adversary to defend against.
+    measure_baseline: bool = False
     #: Extra invariants the run must satisfy.
     expect_negotiated_version: int | None = None
     expect_wire_version: int | None = None
     expect_no_resets: bool = False
+    #: Check the drop-backed zero-spurious-retransmit invariant on its
+    #: own (``expect_no_resets`` implies it; eviction plans that *do*
+    #: heal through a reset still promise no spurious retransmits).
+    expect_no_spurious: bool = False
 
     def injectors(self) -> list[FaultInjector]:
         unique: list[FaultInjector] = []
@@ -158,6 +177,12 @@ class ChaosResult:
     expected_negotiated_version: int | None = None
     expected_wire_version: int | None = None
     expect_no_resets: bool = False
+    expect_no_spurious: bool = False
+    #: Flow-table stats of an overload run (None without a table), the
+    #: per-driver stats, and the spec's nonzero-counter expectations.
+    flowtable: dict | None = None
+    overload_drivers: dict = field(default_factory=dict)
+    flowtable_expectations: dict = field(default_factory=dict)
     #: Real datagram drops across every link (queue overflow, channel
     #: loss, injected faults) -- the ceiling "zero *spurious*
     #: retransmits" is judged against: every retransmission must be
@@ -235,17 +260,29 @@ class ChaosResult:
             if resets:
                 problems.append(
                     f"{resets} resets initiated in a run promised reset-free")
-            # Congestion losses are the transport's business; what the
-            # version switch must never do is trigger retransmissions
-            # of packets that were actually delivered (a mis-decode or
-            # state loss would).  Every retransmission therefore needs
-            # a real drop behind it.
+        if self.expect_no_resets or self.expect_no_spurious:
+            # Congestion losses are the transport's business; what a
+            # version switch or an eviction must never do is trigger
+            # retransmissions of packets that were actually delivered
+            # (a mis-decode or state loss would).  Every retransmission
+            # therefore needs a real drop behind it.
             if self.retransmitted_packets > self.link_drops:
                 problems.append(
                     f"{self.retransmitted_packets - self.link_drops} "
                     f"spurious retransmissions: {self.retransmitted_packets} "
                     f"retransmitted vs {self.link_drops} real datagram "
                     f"drops on the path")
+        if self.flowtable is not None:
+            # An overload plan that never overloads proves nothing: the
+            # spec's expected pressure valves must actually have fired.
+            for kind, key in (("rejections", "flows_rejected"),
+                              ("evictions", "flows_evicted"),
+                              ("sheds", "flows_shed")):
+                if (self.flowtable_expectations.get(kind)
+                        and self.flowtable.get(key, 0) < 1):
+                    problems.append(
+                        f"expected {kind} under overload but "
+                        f"{key} stayed 0")
         return problems
 
     @property
@@ -332,7 +369,7 @@ def run_chaos_transfer(setup: ChaosSetup, *,
     if defense is None and setup.adversarial:
         defense = DefenseConfig()
     baseline_duration = None
-    if defense is not None:
+    if defense is not None or setup.measure_baseline:
         # Measured first (and memoized) so the packet-uid reset below
         # keeps the main run byte-identical with or without a baseline.
         baseline_duration = unassisted_baseline(
@@ -359,14 +396,32 @@ def run_chaos_transfer(setup: ChaosSetup, *,
             capabilities=setup.consumer_capabilities or Capabilities())
         emitter_negotiate = NegotiateConfig(
             capabilities=setup.emitter_capabilities or Capabilities())
-    tap = ProxyEmitterTap(sim, proxy, server="server", client="client",
-                          flow_id="flow0",
-                          policy=PacketCountFrequency(quack_every),
-                          threshold=threshold,
-                          checkpoints=checkpoints,
-                          checkpoint_interval_s=setup.checkpoint_interval_s
-                          if setup.checkpoint_interval_s is not None else 0.05,
-                          negotiate=emitter_negotiate)
+    table = None
+    if setup.overload is not None:
+        # The primary transfer shares one flow table with the overload
+        # drivers' tenants; its emission rides the table's batch timer.
+        table = FlowTable(sim, setup.overload.table_config())
+        tap = FlowTableTap(sim, proxy, server="server", client="client",
+                           flow_id="flow0",
+                           policy=PacketCountFrequency(quack_every),
+                           table=table,
+                           tenant=setup.overload.primary_tenant,
+                           threshold=threshold,
+                           checkpoints=checkpoints,
+                           checkpoint_interval_s=setup.checkpoint_interval_s
+                           if setup.checkpoint_interval_s is not None
+                           else 0.05,
+                           negotiate=emitter_negotiate)
+    else:
+        tap = ProxyEmitterTap(sim, proxy, server="server", client="client",
+                              flow_id="flow0",
+                              policy=PacketCountFrequency(quack_every),
+                              threshold=threshold,
+                              checkpoints=checkpoints,
+                              checkpoint_interval_s=setup.checkpoint_interval_s
+                              if setup.checkpoint_interval_s is not None
+                              else 0.05,
+                              negotiate=emitter_negotiate)
     sidecar = ServerSidecar(sim, sender, threshold=threshold, grace=2,
                             apply_losses=True, congestive_loss=False,
                             reset_after_failures=reset_after_failures,
@@ -382,6 +437,8 @@ def run_chaos_transfer(setup: ChaosSetup, *,
                      sidecar.request_version_switch, setup.version_switch_to)
     if setup.crashes is not None:
         setup.crashes.arm(sim, tap)
+    if setup.overload is not None:
+        setup.overload.arm(sim, table, tap)
     sender.start()
 
     completed = _run_transfer_loop(sim, sender, receiver, deadline_s)
@@ -460,6 +517,12 @@ def run_chaos_transfer(setup: ChaosSetup, *,
         expected_negotiated_version=setup.expect_negotiated_version,
         expected_wire_version=setup.expect_wire_version,
         expect_no_resets=setup.expect_no_resets,
+        expect_no_spurious=setup.expect_no_spurious,
+        flowtable=table.stats_dict() if table is not None else None,
+        overload_drivers=setup.overload.driver_stats()
+        if setup.overload is not None else {},
+        flowtable_expectations=setup.overload.expectations()
+        if setup.overload is not None else {},
         link_drops=link_drops,
     )
     if obs.FLIGHT.armed:
@@ -491,6 +554,9 @@ class ChaosPlan:
     factory: Callable[[int], ChaosSetup]
     description: str
     adversarial: bool = False
+    #: Mirrors ``setup.overload``: the plan pressures the shared flow
+    #: table, so ``repro chaos overload`` can select the suite.
+    overload: bool = False
 
 
 def _crash_restart(seed: int) -> ChaosSetup:
@@ -619,6 +685,60 @@ def _equivocation(seed: int) -> ChaosSetup:
                       faults_toward_server=liar, adversarial=True)
 
 
+def _tenant_burst(seed: int) -> ChaosSetup:
+    # Background load fills the table to its high-water mark; a burst
+    # tenant then floods twice the table's capacity.  Admission control
+    # must reject the flood while the primary transfer keeps assistance.
+    overload = OverloadSpec(
+        max_flows=48,
+        drivers=[BackgroundLoad(seed=seed),
+                 TenantBurst(at=0.3, flows=96, seed=seed + 1)],
+        expect_rejections=True)
+    return ChaosSetup(name="tenant-burst", overload=overload,
+                      measure_baseline=True, expect_no_resets=True,
+                      expect_no_spurious=True)
+
+
+def _flow_churn_storm(seed: int) -> ChaosSetup:
+    # Mass admit/close churn around the primary flow: the teardown path
+    # (ledger forget, timer cancel/rearm) must not perturb assistance.
+    overload = OverloadSpec(
+        max_flows=128,
+        drivers=[BackgroundLoad(seed=seed),
+                 ChurnStorm(seed=seed + 2)])
+    return ChaosSetup(name="flow-churn-storm", overload=overload,
+                      measure_baseline=True, expect_no_resets=True,
+                      expect_no_spurious=True)
+
+
+def _memory_clamp(seed: int) -> ChaosSetup:
+    # Host memory pressure clamps the primary tenant's budget to nothing
+    # mid-transfer: the primary flow is evicted, its sender must fall
+    # cleanly to E2E_ONLY and finish at unassisted goodput -- eviction
+    # only ever *removes* assistance.
+    overload = OverloadSpec(
+        drivers=[BackgroundLoad(seed=seed),
+                 MemoryClamp(at=0.4)],
+        expect_evictions=True)
+    return ChaosSetup(name="memory-clamp", overload=overload,
+                      measure_baseline=True, expect_no_resets=True,
+                      expect_no_spurious=True)
+
+
+def _shed_under_adversary(seed: int) -> ChaosSetup:
+    # Overload shedding while a lying sidecar tampers the quACK channel:
+    # the shed pressure must demote idle background flows (never the
+    # active primary) while the defense quarantines the liar.
+    overload = OverloadSpec(
+        max_flows=64,
+        drivers=[BackgroundLoad(tenants=4, flows_per_tenant=15,
+                                seed=seed)],
+        expect_sheds=True)
+    return ChaosSetup(name="shed-under-adversary", overload=overload,
+                      faults_toward_server=LyingCountAdversary(inflation=25),
+                      adversarial=True, expect_no_spurious=True)
+
+
 #: Built-in scenarios: one per injector family, one per adversary, plus
 #: the checkpoint/restore exercise.
 PLANS: Mapping[str, ChaosPlan] = {
@@ -676,6 +796,22 @@ PLANS: Mapping[str, ChaosPlan] = {
         _downgrade_rewrite,
         "adversary rewrites offers to pin v1; transcript hash catches it",
         adversarial=True),
+    "tenant-burst": ChaosPlan(
+        _tenant_burst,
+        "tenant floods 2x table capacity; admission control rejects it",
+        overload=True),
+    "flow-churn-storm": ChaosPlan(
+        _flow_churn_storm,
+        "mass flow admit/close churn around an untouched primary flow",
+        overload=True),
+    "memory-clamp": ChaosPlan(
+        _memory_clamp,
+        "budget clamp evicts the primary flow; sender falls to e2e-only",
+        overload=True),
+    "shed-under-adversary": ChaosPlan(
+        _shed_under_adversary,
+        "load shedding under a lying sidecar; idle shed, liar quarantined",
+        adversarial=True, overload=True),
 }
 
 
@@ -735,6 +871,8 @@ def result_to_dict(result: ChaosResult) -> dict:
         "retransmitted_packets": result.retransmitted_packets,
         "link_drops": result.link_drops,
         "baseline_slack_s": result.baseline_slack_s,
+        "flowtable": result.flowtable,
+        "overload_drivers": dict(result.overload_drivers),
         "invariant_violations": result.violations(),
         "ok": result.ok,
     }
@@ -783,6 +921,17 @@ def format_result(result: ChaosResult) -> str:
             f"goodput: {result.goodput_bps / 1e6:.2f} Mbps vs "
             f"{(result.baseline_goodput_bps or 0) / 1e6:.2f} Mbps unassisted "
             f"baseline")
+    if result.flowtable is not None:
+        table = result.flowtable
+        lines.append(
+            f"flow table: {table['flows']} resident "
+            f"(peak {table['peak_flows']}), "
+            f"admitted {table['flows_admitted']}, "
+            f"rejected {table['flows_rejected']}, "
+            f"evicted {table['flows_evicted']}, "
+            f"shed {table['flows_shed']}, closed {table['flows_closed']}, "
+            f"p99 emission latency "
+            f"{table['emission_latency_p99_s'] * 1e3:.2f} ms")
     if result.adversarial:
         kinds = ", ".join(f"{kind}={count}" for kind, count
                           in sorted(result.signals_by_kind.items())) or "none"

@@ -1,0 +1,272 @@
+"""Overload injectors for the multi-tenant flow-table chaos plans.
+
+Where :mod:`repro.netsim.faults` breaks the *channel* and
+:mod:`repro.chaos.adversary` corrupts the *content*, these injectors
+attack the middlebox's *capacity*: background tenants flooding the
+shared flow table with admissions, churn, and memory pressure while the
+harness's primary transfer rides the same table.  The invariant under
+test is the flow table's robustness contract: overload may take
+assistance away from a flow (rejection, eviction, shedding) but must
+never corrupt it -- the primary sender either keeps its quACKs or falls
+cleanly down the health ladder to ``E2E_ONLY`` at goodput no worse than
+the unassisted baseline, with zero spurious retransmits.
+
+Every driver is seeded and runs on simulator timers only, so chaos runs
+stay byte-identical across scheduler backends (the differential suite
+executes each plan under both).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netsim.core import Simulator
+from repro.sidecar.flowtable import FlowRecord, FlowTable, FlowTableConfig
+
+#: Off the batch-interval grid, so driver traffic lands between sweeps.
+DRIVER_TICK_S = 0.0077
+
+
+@dataclass
+class BackgroundLoad:
+    """Steady multi-tenant load: mostly one-shot flows, a few active.
+
+    At ``start`` every flow is admitted and observed once; from then
+    until ``stop`` only the first ``active_per_tenant`` flows of each
+    tenant keep receiving packets.  The one-shot majority goes idle --
+    exactly the population load shedding should demote first.
+    """
+
+    tenants: int = 3
+    flows_per_tenant: int = 16
+    active_per_tenant: int = 4
+    start: float = 0.1
+    stop: float = 1.1
+    tick_s: float = DRIVER_TICK_S
+    seed: int = 1
+    admitted: int = 0
+    rejected: int = 0
+    observations: int = 0
+
+    def arm(self, sim: Simulator, table: FlowTable, tap) -> None:
+        self._sim = sim
+        self._table = table
+        self._rng = random.Random(self.seed)
+        self._records: list[FlowRecord] = []
+        self._timer = sim.timer(self._tick)
+        sim.schedule(self.start, self._admit_all)
+
+    def _admit_all(self) -> None:
+        for tenant_index in range(self.tenants):
+            for flow_index in range(self.flows_per_tenant):
+                record = self._table.admit(f"bg{tenant_index}",
+                                           f"f{flow_index}")
+                if record is None:
+                    self.rejected += 1
+                    continue
+                self.admitted += 1
+                self._table.observe(record, self._rng.randrange(1, 1 << 32))
+                self.observations += 1
+                if flow_index < self.active_per_tenant:
+                    self._records.append(record)
+        self._timer.rearm(self.tick_s)
+
+    def _tick(self) -> None:
+        for record in self._records:
+            if self._table.observe(record,
+                                   self._rng.randrange(1, 1 << 32)):
+                self.observations += 1
+        if self._sim.now + self.tick_s <= self.stop:
+            self._timer.rearm(self.tick_s)
+
+    @property
+    def stats(self) -> dict:
+        return {"admitted": self.admitted, "rejected": self.rejected,
+                "observations": self.observations}
+
+
+@dataclass
+class TenantBurst:
+    """One tenant tries to admit a flood of flows at ``at``.
+
+    Sized above the table's global high-water mark, the tail of the
+    burst must be *rejected* (admission control), never allowed to grow
+    the table or displace other tenants' state.
+    """
+
+    at: float = 0.3
+    tenant: str = "burst"
+    flows: int = 96
+    seed: int = 1
+    admitted: int = 0
+    rejected: int = 0
+
+    def arm(self, sim: Simulator, table: FlowTable, tap) -> None:
+        self._table = table
+        self._rng = random.Random(self.seed)
+        sim.schedule(self.at, self._burst)
+
+    def _burst(self) -> None:
+        for flow_index in range(self.flows):
+            record = self._table.admit(self.tenant, f"f{flow_index}")
+            if record is None:
+                self.rejected += 1
+                continue
+            self.admitted += 1
+            self._table.observe(record, self._rng.randrange(1, 1 << 32))
+
+    @property
+    def stats(self) -> dict:
+        return {"admitted": self.admitted, "rejected": self.rejected}
+
+
+@dataclass
+class ChurnStorm:
+    """Mass flow churn: every tick, close the oldest and admit fresh.
+
+    The teardown pattern that leaks ledgers and stresses timer
+    cancel/rearm; the primary flow must ride through it untouched.
+    """
+
+    start: float = 0.2
+    stop: float = 1.0
+    tick_s: float = DRIVER_TICK_S
+    churn_per_tick: int = 6
+    tenant: str = "churn"
+    seed: int = 1
+    admitted: int = 0
+    rejected: int = 0
+    closed: int = 0
+
+    def arm(self, sim: Simulator, table: FlowTable, tap) -> None:
+        self._sim = sim
+        self._table = table
+        self._rng = random.Random(self.seed)
+        self._pool: list[FlowRecord] = []
+        self._next_flow = 0
+        self._timer = sim.timer(self._tick)
+        sim.schedule(self.start, self._begin)
+
+    def _begin(self) -> None:
+        self._tick()
+
+    def _admit_one(self) -> None:
+        record = self._table.admit(self.tenant, f"f{self._next_flow}")
+        self._next_flow += 1
+        if record is None:
+            self.rejected += 1
+            return
+        self.admitted += 1
+        self._table.observe(record, self._rng.randrange(1, 1 << 32))
+        self._pool.append(record)
+
+    def _tick(self) -> None:
+        for _ in range(self.churn_per_tick):
+            self._admit_one()
+        while len(self._pool) > self.churn_per_tick:
+            record = self._pool.pop(0)
+            if self._table.close_flow(record):
+                self.closed += 1
+        if self._sim.now + self.tick_s <= self.stop:
+            self._timer.rearm(self.tick_s)
+
+    @property
+    def stats(self) -> dict:
+        return {"admitted": self.admitted, "rejected": self.rejected,
+                "closed": self.closed}
+
+
+@dataclass
+class MemoryClamp:
+    """Force the primary tenant's budget to zero at ``at``.
+
+    Models a host-level memory clamp (cgroup pressure): the tenant's
+    flows -- the harness's primary transfer included -- are evicted
+    immediately, active or not.  With ``restore_at`` set the budget
+    comes back and the tap re-admits itself (``rejoin=True``), which
+    must heal through the count-regression reset into ``RECOVERING``
+    probation, never straight to ``HEALTHY``.
+    """
+
+    at: float = 0.4
+    tenant: str = "primary"
+    budget_bytes: int = 1
+    restore_at: float | None = None
+    rejoin: bool = False
+    evicted: int = 0
+    restored: bool = False
+    rejoined: bool = False
+
+    def arm(self, sim: Simulator, table: FlowTable, tap) -> None:
+        self._table = table
+        self._tap = tap
+        sim.schedule(self.at, self._clamp)
+        if self.restore_at is not None:
+            sim.schedule(self.restore_at, self._restore)
+
+    def _clamp(self) -> None:
+        self.evicted += self._table.clamp_tenant(self.tenant,
+                                                 self.budget_bytes)
+
+    def _restore(self) -> None:
+        self._table.clamp_tenant(self.tenant, None)
+        self.restored = True
+        if self.rejoin and self._tap is not None:
+            self.rejoined = self._tap.rejoin()
+
+    @property
+    def stats(self) -> dict:
+        return {"evicted": self.evicted, "restored": self.restored,
+                "rejoined": self.rejoined}
+
+
+@dataclass
+class OverloadSpec:
+    """Flow-table sizing plus the overload drivers to arm against it.
+
+    Attached to a :class:`~repro.chaos.harness.ChaosSetup`, this makes
+    the harness route its proxy tap through a shared
+    :class:`~repro.sidecar.flowtable.FlowTable` (tenant ``primary``)
+    and arm every driver against that table.  The ``expect_*`` flags
+    become invariants: the corresponding table counter must be nonzero
+    or the run is a violation (an overload plan that never overloads
+    proves nothing).
+    """
+
+    max_flows: int = 64
+    tenant_budget_bytes: int = 4096
+    shards: int = 8
+    batch_interval_s: float = 0.005
+    shed_high_water: float = 0.90
+    shed_low_water: float = 0.70
+    idle_after_s: float = 0.1
+    low_traffic_observed: int = 8
+    primary_tenant: str = "primary"
+    drivers: list = field(default_factory=list)
+    expect_rejections: bool = False
+    expect_evictions: bool = False
+    expect_sheds: bool = False
+
+    def table_config(self) -> FlowTableConfig:
+        return FlowTableConfig(
+            shards=self.shards, max_flows=self.max_flows,
+            tenant_budget_bytes=self.tenant_budget_bytes,
+            shed_high_water=self.shed_high_water,
+            shed_low_water=self.shed_low_water,
+            batch_interval_s=self.batch_interval_s,
+            idle_after_s=self.idle_after_s,
+            low_traffic_observed=self.low_traffic_observed)
+
+    def arm(self, sim: Simulator, table: FlowTable, tap) -> None:
+        for driver in self.drivers:
+            driver.arm(sim, table, tap)
+
+    def driver_stats(self) -> dict:
+        return {type(driver).__name__: driver.stats
+                for driver in self.drivers}
+
+    def expectations(self) -> dict[str, bool]:
+        return {"rejections": self.expect_rejections,
+                "evictions": self.expect_evictions,
+                "sheds": self.expect_sheds}

@@ -240,14 +240,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print("(* = adversarial plan, runs with the plausibility defense)")
         return 0
     if args.which is None:
-        print("error: name a chaos plan, 'all', or 'adversarial' "
-              "(--list-plans shows them)", file=sys.stderr)
+        print("error: name a chaos plan, 'all', 'adversarial', or "
+              "'overload' (--list-plans shows them)", file=sys.stderr)
         sys.exit(2)
     if args.which == "all":
         plans = tuple(sorted(PLANS))
     elif args.which == "adversarial":
         plans = tuple(sorted(name for name, plan in PLANS.items()
                              if plan.adversarial))
+    elif args.which == "overload":
+        plans = tuple(sorted(name for name, plan in PLANS.items()
+                             if plan.overload))
     elif args.which in PLANS:
         plans = (args.which,)
     else:
@@ -647,8 +650,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="run a fault-injection scenario (robustness)")
     chaos.add_argument("which", nargs="?",
-                       help="a plan name, 'all', or 'adversarial' "
-                            "(see --list-plans)")
+                       help="a plan name, 'all', 'adversarial', or "
+                            "'overload' (see --list-plans)")
     chaos.add_argument("--list-plans", action="store_true",
                        help="list the chaos plans with descriptions")
     chaos.add_argument("--seed", type=int, default=1)

@@ -100,6 +100,16 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     # Post-resume reconciliation: packets retired from the sender sums
     # because they were confirmed pre-crash (checkpoint gap), not lost.
     "sidecar.gap_reconciled": {"flow": STRING, "packets": NUMBER},
+    # -- sidecar flow table (multi-tenant middlebox, DESIGN.md §16) -----
+    # Admission control turned a flow away at the global high-water mark.
+    "sidecar.flow_reject": {"tenant": STRING, "flow": STRING,
+                            "flows": NUMBER},
+    # A flow's bank was torn down; ``reason`` is budget (tenant LRU),
+    # clamp (forced budget cut), shed (overload), or close (teardown).
+    "sidecar.flow_evict": {"tenant": STRING, "flow": STRING,
+                           "reason": STRING},
+    # One shared-timer sweep coalesced due flows into batched frames.
+    "sidecar.batch_emit": {"frames": NUMBER, "flows": NUMBER},
     # -- sidecar version negotiation (DESIGN.md §12) --------------------
     "sidecar.hello": {"flow": STRING, "max_version": NUMBER,
                       "attempt": NUMBER},

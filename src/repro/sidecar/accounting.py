@@ -44,11 +44,12 @@ class FlowAccount:
 class FlowAccounts:
     """Process-wide flow ledger (disarmed until :meth:`arm`)."""
 
-    __slots__ = ("armed", "_flows")
+    __slots__ = ("armed", "_flows", "evicted_flows")
 
     def __init__(self) -> None:
         self.armed = False
         self._flows: dict[str, FlowAccount] = {}
+        self.evicted_flows = 0
 
     def arm(self) -> None:
         self.armed = True
@@ -58,6 +59,7 @@ class FlowAccounts:
 
     def reset(self) -> None:
         self._flows = {}
+        self.evicted_flows = 0
 
     def _account(self, flow: str) -> FlowAccount:
         account = self._flows.get(flow)
@@ -78,6 +80,19 @@ class FlowAccounts:
         account = self._account(flow)
         account.frames_emitted += 1
         account.bytes_emitted += frame_bytes
+
+    def forget(self, flow: str) -> None:
+        """Drop ``flow``'s ledger entry (flow teardown or eviction).
+
+        Without this the ledger grows unboundedly across long sweeps:
+        every flow ever observed stays resident forever.  Teardown and
+        eviction paths call ``forget`` so ``total_bank_bytes`` tracks
+        the *currently resident* banks, which is what a memory budget
+        meters.  Forgetting an unknown flow is a no-op (the ledger may
+        be disarmed for part of a flow's life).
+        """
+        if self._flows.pop(flow, None) is not None:
+            self.evicted_flows += 1
 
     # -- read side --------------------------------------------------------
 
@@ -106,6 +121,7 @@ class FlowAccounts:
             "kind": "flow-accounts",
             "schema": 1,
             "total_bank_bytes": self.total_bank_bytes(),
+            "evicted_flows": self.evicted_flows,
             "flows": {flow: account.to_dict()
                       for flow, account in sorted(self._flows.items())},
         }

@@ -1166,6 +1166,11 @@ class ProxyEmitterTap(_EmitterMixin):
                 or packet.flow_id != self.flow_id
                 or packet.identifier is None):
             return
+        self._on_data(packet)
+
+    def _on_data(self, packet: Packet) -> None:
+        """Fold one forwarded DATA packet (overridden by the flow table
+        tap, which routes the observation through a shared table)."""
         snapshot = self.emitter.observe(packet.identifier, self.sim.now,
                                         ctx=packet.trace_ctx,
                                         flow=self.flow_id)

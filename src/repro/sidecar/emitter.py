@@ -54,10 +54,16 @@ class QuackEmitter:
         self._packets_since_emit = 0
         self._last_emit = 0.0
 
-    def observe(self, identifier: int, now: float, *,
-                ctx: int | None = None,
-                flow: str | None = None) -> PowerSumQuack | None:
-        """Fold one identifier in; returns a snapshot if one is due now.
+    def note(self, identifier: int, now: float, *,
+             ctx: int | None = None,
+             flow: str | None = None) -> bool:
+        """Fold one identifier in; returns True when an emission is due.
+
+        This is the observation half of :meth:`observe` without the
+        emission: callers that own the emission schedule -- the flow
+        table's shared batch timer -- use the returned due flag to mark
+        the flow for the next coalesced sweep instead of emitting a
+        frame per due packet.
 
         ``ctx``/``flow`` are purely observational: when the datagram
         carried a trace-context id, the middlebox observation point is
@@ -77,8 +83,14 @@ class QuackEmitter:
                 (self.quack.wire_size_bits() + 7) // 8)
         self.stats.observed += 1
         self._packets_since_emit += 1
-        if self.policy.on_packet(self._packets_since_emit, now,
-                                 self._last_emit):
+        return self.policy.on_packet(self._packets_since_emit, now,
+                                     self._last_emit)
+
+    def observe(self, identifier: int, now: float, *,
+                ctx: int | None = None,
+                flow: str | None = None) -> PowerSumQuack | None:
+        """Fold one identifier in; returns a snapshot if one is due now."""
+        if self.note(identifier, now, ctx=ctx, flow=flow):
             return self.emit(now)
         return None
 

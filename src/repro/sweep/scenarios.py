@@ -15,6 +15,10 @@ Registered scenarios:
 * ``chaos`` -- the fault-injection harness; the cell must carry a
   ``plan`` parameter naming one of :data:`repro.chaos.PLANS` (sweep the
   ``plan`` axis to cover all of them);
+* ``scale`` -- the multi-tenant flow table driven at scale
+  (:func:`repro.sidecar.flowtable.run_scale`): flow-count x churn-rate
+  grids measuring admissions, evictions, shedding, and p99 emission
+  latency under per-tenant budgets;
 * ``selftest`` -- a deliberately cheap arithmetic scenario with
   injectable failures, used by the engine's own differential tests and
   by scaling demos.  Parameters: ``work`` (payload size), ``sleep_s``
@@ -97,6 +101,12 @@ def _run_chaos(params: Mapping[str, Any], seed: int, attempt: int) -> dict:
     return run_chaos_spec(_with_seed(params, seed))
 
 
+def _run_scale(params: Mapping[str, Any], seed: int, attempt: int) -> dict:
+    from repro.sidecar.flowtable import run_scale_spec
+
+    return run_scale_spec(_with_seed(params, seed))
+
+
 def _with_seed(params: Mapping[str, Any], seed: int) -> dict:
     """Inject the derived cell seed unless the spec pins one explicitly."""
     merged = dict(params)
@@ -110,6 +120,7 @@ SCENARIOS: dict[str, Callable[[Mapping[str, Any], int, int], dict]] = {
     "ack-reduction": _run_ack_reduction,
     "retransmission": _run_retransmission,
     "chaos": _run_chaos,
+    "scale": _run_scale,
     "selftest": _run_selftest,
 }
 

@@ -46,30 +46,34 @@ class TestFullReport:
     def test_quick_report_assembles(self):
         progress_log = []
         options = ReportOptions(trials=2, protocol_bytes=120_000,
-                                headroom_trials=2, include_chaos=False)
+                                headroom_trials=2, include_chaos=False,
+                                scale_flows=500)
         text = full_report(options, progress=progress_log.append)
         assert text.startswith("# Sidecar / quACK reproduction report")
         assert "## Table 2" in text
         assert "## Table 3" in text
         assert "CC division (E7)" in text
         assert "Threshold headroom" in text
+        assert "## Multi-tenant flow table at scale" in text
         assert "## Observability" in text
-        assert len(progress_log) == 4
+        assert len(progress_log) == 5
 
     def test_sections_can_be_disabled(self):
         options = ReportOptions(trials=2, include_protocols=False,
                                 include_headroom=False, include_chaos=False,
+                                include_scale=False,
                                 include_observability=False)
         text = full_report(options)
         assert "CC division (E7)" not in text
         assert "Threshold headroom" not in text
         assert "Robustness under fault injection" not in text
+        assert "flow table at scale" not in text
         assert "## Observability" not in text
         assert "## Table 2" in text
 
     def test_chaos_section_reports_invariants(self):
         options = ReportOptions(trials=2, include_protocols=False,
-                                include_headroom=False,
+                                include_headroom=False, include_scale=False,
                                 include_observability=False)
         text = full_report(options)
         assert "Robustness under fault injection" in text

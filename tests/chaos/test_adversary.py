@@ -30,7 +30,8 @@ class TestAdversarialPlans:
     def test_the_plan_set_is_complete(self):
         assert ADVERSARIAL == ("downgrade-rewrite", "downgrade-strip",
                                "equivocation", "forged-power-sum",
-                               "lying-count", "replay")
+                               "lying-count", "replay",
+                               "shed-under-adversary")
 
     @pytest.mark.parametrize("name", ADVERSARIAL)
     def test_invariants_hold(self, results, name):

@@ -53,6 +53,37 @@ class TestFlowAccounts:
         ledger.reset()
         assert ledger.flows == 0
 
+    def test_forget_drops_entry_and_counts_eviction(self):
+        ledger = FlowAccounts()
+        ledger.arm()
+        ledger.on_observe("f1", bank_bytes=10)
+        ledger.on_observe("f2", bank_bytes=20)
+        ledger.forget("f1")
+        assert ledger.flows == 1
+        assert ledger.evicted_flows == 1
+        assert ledger.total_bank_bytes() == 20
+
+    def test_forget_unknown_flow_is_a_noop(self):
+        ledger = FlowAccounts()
+        ledger.arm()
+        ledger.forget("never-seen")
+        assert ledger.evicted_flows == 0
+
+    def test_reset_zeroes_eviction_counter(self):
+        ledger = FlowAccounts()
+        ledger.arm()
+        ledger.on_observe("f1", bank_bytes=10)
+        ledger.forget("f1")
+        ledger.reset()
+        assert ledger.evicted_flows == 0
+
+    def test_snapshot_carries_evicted_flows(self):
+        ledger = FlowAccounts()
+        ledger.arm()
+        ledger.on_observe("f1", bank_bytes=10)
+        ledger.forget("f1")
+        assert ledger.snapshot()["evicted_flows"] == 1
+
 
 class TestEmitterIntegration:
     def test_disarmed_emitter_records_nothing(self):

@@ -1,0 +1,270 @@
+"""Tests for the multi-tenant flow table (DESIGN.md §16)."""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.sidecar.accounting import FLOW_ACCOUNTS
+from repro.sidecar.flowtable import (
+    FlowTable,
+    FlowTableConfig,
+    run_scale,
+)
+
+
+@pytest.fixture(autouse=True)
+def _ledger_clean():
+    FLOW_ACCOUNTS.disarm()
+    FLOW_ACCOUNTS.reset()
+    yield
+    FLOW_ACCOUNTS.disarm()
+    FLOW_ACCOUNTS.reset()
+
+
+def make_table(**overrides) -> tuple[Simulator, FlowTable]:
+    sim = Simulator()
+    config = FlowTableConfig(**overrides)
+    return sim, FlowTable(sim, config)
+
+
+#: Resident bank of one default-config emitter (threshold=4, bits=32).
+BANK = 18
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        FlowTableConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"shards": 0},
+        {"max_flows": 0},
+        {"tenant_budget_bytes": 0},
+        {"shed_low_water": 0.0},
+        {"shed_low_water": 0.9, "shed_high_water": 0.8},
+        {"shed_high_water": 1.5},
+        {"batch_interval_s": 0.0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FlowTableConfig(**kwargs)
+
+
+class TestAdmission:
+    def test_admit_is_idempotent_per_key(self):
+        _, table = make_table()
+        first = table.admit("t0", "f0")
+        again = table.admit("t0", "f0")
+        assert first is again
+        assert table.stats.flows_admitted == 1
+
+    def test_global_high_water_rejects(self):
+        _, table = make_table(max_flows=2, tenant_budget_bytes=10_000)
+        assert table.admit("t0", "f0") is not None
+        assert table.admit("t0", "f1") is not None
+        assert table.admit("t0", "f2") is None
+        assert table.stats.flows_rejected == 1
+        assert table.flows == 2
+
+    def test_bank_accounting_tracks_admissions(self):
+        _, table = make_table()
+        table.admit("t0", "f0")
+        table.admit("t0", "f1")
+        table.admit("t1", "f0")
+        assert table.tenant_bank_bytes("t0") == 2 * BANK
+        assert table.tenant_bank_bytes("t1") == BANK
+        assert table.total_bank_bytes() == 3 * BANK
+
+    def test_newcomer_bigger_than_budget_rejected(self):
+        _, table = make_table(tenant_budget_bytes=BANK - 1)
+        assert table.admit("t0", "f0") is None
+        assert table.stats.flows_rejected == 1
+
+
+class TestBudgetEviction:
+    def test_over_budget_evicts_tenant_lru(self):
+        # Budget fits two banks; the third admission evicts the least
+        # recently *active* flow, not the oldest admission.
+        sim, table = make_table(tenant_budget_bytes=2 * BANK + 2)
+        a = table.admit("t0", "a")
+        b = table.admit("t0", "b")
+        sim.schedule(0.001, lambda: table.observe(a, 7))
+        sim.schedule(0.002, lambda: table.admit("t0", "c"))
+        sim.run(until=0.003)
+        assert not b.live
+        assert a.live
+        assert table.get("t0", "c") is not None
+        assert table.stats.flows_evicted == 1
+        assert table.tenant_bank_bytes("t0") == 2 * BANK
+
+    def test_one_tenants_burst_never_costs_another(self):
+        _, table = make_table(tenant_budget_bytes=2 * BANK + 2,
+                              max_flows=1000)
+        other = table.admit("quiet", "f0")
+        for index in range(20):
+            table.admit("noisy", f"f{index}")
+        assert other.live
+        assert table.tenant_bank_bytes("quiet") == BANK
+        assert table.tenant_bank_bytes("noisy") <= 2 * BANK + 2
+
+    def test_eviction_fires_callback_with_reason(self):
+        reasons = []
+        _, table = make_table(tenant_budget_bytes=BANK + 1)
+        table.admit("t0", "a", on_evict=reasons.append)
+        table.admit("t0", "b")
+        assert reasons == ["budget"]
+
+
+class TestClamp:
+    def test_clamp_evicts_immediately_and_restores(self):
+        _, table = make_table(tenant_budget_bytes=10 * BANK)
+        for index in range(3):
+            table.admit("t0", f"f{index}")
+        evicted = table.clamp_tenant("t0", BANK + 1)
+        assert evicted == 2
+        assert table.stats.flows_evicted == 2
+        assert table.flows == 1
+        # None restores the default budget: admissions work again.
+        table.clamp_tenant("t0", None)
+        assert table.admit("t0", "fresh") is not None
+
+    def test_clamp_to_zero_removes_every_flow(self):
+        _, table = make_table()
+        for index in range(4):
+            table.admit("t0", f"f{index}")
+        assert table.clamp_tenant("t0", 0) == 4
+        assert table.flows == 0
+
+
+class TestShedding:
+    def test_shed_order_idle_then_low_traffic_then_active(self):
+        # 8 flows above the high water (6); shedding stops at the low
+        # water (4) after taking the idle pair, then the low-traffic
+        # pair -- the active flows survive.
+        sim, table = make_table(
+            max_flows=8, shed_high_water=0.75, shed_low_water=0.5,
+            idle_after_s=0.004, low_traffic_observed=4,
+            tenant_budget_bytes=10_000)
+        records = [table.admit("t0", f"f{index}") for index in range(8)]
+
+        def drive() -> None:
+            for record in records[2:4]:
+                table.observe(record, 7)
+            for record in records[4:]:
+                for identifier in range(1, 5):
+                    table.observe(record, identifier)
+
+        sim.schedule(0.003, drive)
+        sim.run(until=0.006)
+        assert table.flows == 4
+        assert table.stats.flows_shed == 4
+        assert [record.live for record in records] == \
+            [False, False, False, False, True, True, True, True]
+
+    def test_no_shedding_below_high_water(self):
+        sim, table = make_table(max_flows=8, shed_high_water=0.75,
+                                shed_low_water=0.5,
+                                tenant_budget_bytes=10_000)
+        for index in range(6):
+            table.admit("t0", f"f{index}")
+        sim.run(until=0.02)
+        assert table.stats.flows_shed == 0
+        assert table.flows == 6
+
+
+class TestBatching:
+    def test_emission_waits_for_the_shared_timer(self):
+        sim, table = make_table()
+        frames = []
+        record = table.admit("t0", "f0",
+                             on_emit=lambda snap, now: frames.append(now))
+
+        def feed() -> None:
+            table.observe(record, 1)
+            table.observe(record, 2)  # due at 0.002 under the default
+
+        sim.schedule(0.002, feed)
+        sim.run(until=0.004)
+        assert frames == []  # never inline: waits for the 0.005 sweep
+        sim.run(until=0.006)
+        assert frames == [0.005]
+        assert table.stats.batches == 1
+        assert table.stats.frames_batched == 1
+
+    def test_latency_is_coalescing_delay(self):
+        sim, table = make_table()
+        record = table.admit("t0", "f0")
+        sim.schedule(0.002, lambda: (table.observe(record, 1),
+                                     table.observe(record, 2)))
+        sim.run(until=0.006)
+        stats = table.stats_dict()
+        assert stats["emissions"] == 1
+        assert stats["emission_latency_p99_s"] == pytest.approx(0.003)
+
+    def test_observe_after_eviction_is_a_noop(self):
+        _, table = make_table()
+        record = table.admit("t0", "f0")
+        assert table.observe(record, 1)
+        assert table.close_flow(record)
+        assert not table.observe(record, 2)
+        assert not table.close_flow(record)
+
+    def test_close_stops_the_batch_timer(self):
+        sim, table = make_table()
+        record = table.admit("t0", "f0")
+        table.observe(record, 1)
+        table.observe(record, 2)
+        table.close()
+        before = table.stats.batches
+        sim.run(until=0.1)
+        assert table.stats.batches == before
+
+
+class TestLedgerIntegration:
+    def test_eviction_forgets_the_ledger_entry(self):
+        FLOW_ACCOUNTS.arm()
+        _, table = make_table()
+        record = table.admit("t0", "f0")
+        table.observe(record, 1)
+        assert FLOW_ACCOUNTS.flows == 1
+        assert "t0/f0" in FLOW_ACCOUNTS.snapshot()["flows"]
+        table.close_flow(record)
+        assert FLOW_ACCOUNTS.flows == 0
+        assert FLOW_ACCOUNTS.evicted_flows == 1
+
+
+class TestRunScale:
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            run_scale(flows=0)
+
+    def test_deterministic_across_runs(self):
+        first = run_scale(flows=200, tenants=4, churn_rate=0.5,
+                          duration_s=0.3, seed=7, account=True)
+        second = run_scale(flows=200, tenants=4, churn_rate=0.5,
+                           duration_s=0.3, seed=7, account=True)
+        assert first == second
+
+    def test_churn_closes_and_forgets(self):
+        result = run_scale(flows=100, tenants=4, churn_rate=1.0,
+                           duration_s=0.5, seed=1, account=True)
+        assert result["flows_closed"] > 0
+        assert result["ledger_evicted_flows"] == result["flows_closed"]
+
+    def test_overload_rejects_past_max_flows(self):
+        result = run_scale(flows=100, max_flows=50, seed=1)
+        assert result["flows_admitted"] == 50
+        assert result["flows_rejected"] == 50
+
+    def test_100k_flows_stay_within_the_memory_budget(self):
+        # The headline capacity claim: a 100k-flow population runs to
+        # completion with the resident bank memory -- measured by the
+        # same FLOW_ACCOUNTS.total_bank_bytes() the ops ledger reports
+        # -- inside the configured per-tenant budgets.
+        tenants = 8
+        result = run_scale(flows=100_000, tenants=tenants,
+                           packets_per_flow=2, seed=1, account=True)
+        global_budget = result["tenant_budget_bytes"] * tenants
+        assert result["flows"] == 100_000
+        assert result["ledger_bank_bytes"] <= global_budget
+        assert result["peak_bank_bytes"] <= global_budget
+        assert result["ledger_bank_bytes"] == result["total_bank_bytes"]
+        assert result["emission_latency_p99_s"] <= 0.005
